@@ -1,0 +1,360 @@
+// Command caranalyze runs the full measurement pipeline and prints
+// every table and figure of the paper.
+//
+// Two modes:
+//
+//	caranalyze -cars 2000 -days 28          # self-contained: generate + analyze
+//	caranalyze -in cars.cdr -days 28        # analyze an existing CDR file
+//
+// In file mode the per-cell PRB load source is unavailable, so the
+// busy-cell analyses (Table 2, Figures 7/10/11, and Figure 1) are
+// skipped; everything else runs from the records alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/load"
+	"cellcars/internal/radio"
+	"cellcars/internal/report"
+	"cellcars/internal/simtime"
+	"cellcars/internal/synth"
+	"cellcars/internal/textplot"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "CDR file to analyze (empty: generate a scene)")
+		cars   = flag.Int("cars", 2000, "fleet size (generate mode)")
+		days   = flag.Int("days", 28, "study length in days")
+		seed   = flag.Uint64("seed", 1, "seed")
+		world  = flag.Float64("world", 60, "world side length in km (generate mode)")
+		start  = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
+		tz     = flag.Int("tz", -5, "local-time offset from UTC in hours")
+		md     = flag.String("md", "", "also write a Markdown report to this file")
+		stream = flag.Bool("stream", false, "with -in: single-pass bounded-memory analysis")
+	)
+	flag.Parse()
+
+	startDay, err := time.Parse("2006-01-02", *start)
+	if err != nil {
+		fatal("bad -start date: %v", err)
+	}
+	period := simtime.NewPeriod(startDay, *days)
+
+	var records []cdr.Record
+	ctx := analysis.Context{Period: period, TZOffsetSeconds: *tz * 3600}
+	opts := analysis.RunOptions{Seed: *seed}
+	var model *load.Model
+
+	if *in != "" && *stream {
+		if err := runStreaming(*in, period); err != nil {
+			fatal("stream %s: %v", *in, err)
+		}
+		return
+	}
+	if *in != "" {
+		records, err = readFile(*in)
+		if err != nil {
+			fatal("read %s: %v", *in, err)
+		}
+		fmt.Printf("loaded %d records from %s\n\n", len(records), *in)
+	} else {
+		cfg := synth.DefaultConfig(*cars)
+		cfg.Seed = *seed
+		cfg.WorldSizeKm = *world
+		cfg.Period = period
+		w := synth.NewWorld(cfg)
+		var stats synth.Stats
+		records, stats, err = w.GenerateAll()
+		if err != nil {
+			fatal("generate: %v", err)
+		}
+		model = w.Load
+		ctx.Load = model
+		opts.BusyCells = model.VeryBusyCells()
+		fmt.Printf("generated %d records (%d cars, %d stations, %d cells)\n\n",
+			stats.Records, *cars, w.Net.NumStations(), w.Net.NumCells())
+	}
+
+	// Scale the rare thresholds with the study length (10 and 30 of 90).
+	opts.RareDays = []int{max(1, *days/9), max(2, *days/3)}
+
+	rep, err := analysis.Run(records, ctx, opts)
+	if err != nil {
+		fatal("analyze: %v", err)
+	}
+	printReport(rep, ctx, records, model)
+
+	if *md != "" {
+		desc := fmt.Sprintf("%d records over %d days (seed %d)", len(records), *days, *seed)
+		doc := report.Render(rep, ctx, report.Options{
+			Title:            "cellcars reproduction report",
+			SceneDescription: desc,
+			Now:              time.Now(),
+		})
+		if err := os.WriteFile(*md, []byte(doc), 0o644); err != nil {
+			fatal("write %s: %v", *md, err)
+		}
+		fmt.Printf("wrote Markdown report to %s\n", *md)
+	}
+}
+
+func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record, model *load.Model) {
+	fmt.Printf("== Preprocessing (§3) ==\n")
+	fmt.Printf("raw records %d, after ghost removal %d (%d one-hour ghosts dropped)\n\n",
+		r.RawRecords, r.CleanRecords, r.RawRecords-r.CleanRecords)
+
+	if model != nil {
+		fmt.Println("== Figure 1: single greedy download saturates a cell ==")
+		cells := model.VeryBusyCells()
+		if len(cells) < 2 {
+			// Any two cells will do for the demonstration.
+			all := allCells(records)
+			if len(all) >= 2 {
+				cells = all[:2]
+			}
+		}
+		if len(cells) >= 2 {
+			sat := load.Saturate(model, cells[:2], ctx.Period.Days()/2,
+				20*time.Hour+45*time.Minute, 4*time.Hour, 0.97)
+			for i := range sat.Cells {
+				fmt.Println(textplot.Chart(
+					fmt.Sprintf("cell %v: test day (download from 20:45)", sat.Cells[i]),
+					binAxis(96), sat.Test[i][:], 72, 8))
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== Figure 2 / Table 1: daily presence ==")
+	fmt.Printf("population: %d cars, %d cells touched\n", r.Presence.TotalCars, r.Presence.TotalCells)
+	fmt.Printf("cars trend:  %.5f + %.6f/day (R² = %.3f)\n",
+		r.Presence.CarsTrend.Intercept, r.Presence.CarsTrend.Slope, r.Presence.CarsTrend.R2)
+	fmt.Printf("cells trend: %.5f + %.6f/day (R² = %.3f)\n",
+		r.Presence.CellsTrend.Intercept, r.Presence.CellsTrend.Slope, r.Presence.CellsTrend.R2)
+	fmt.Println(textplot.Chart("% cars on network per day", dayAxis(len(r.Presence.CarsFrac)), r.Presence.CarsFrac, 72, 8))
+	fmt.Println(analysis.FormatTable1(r.WeekdayRows))
+
+	fmt.Println("== Figure 3: total time on network (fraction of study) ==")
+	fmt.Printf("means: full %.2f%%, truncated %.2f%% | p99.5: full %.1f%%, truncated %.1f%%\n",
+		r.Connected.FullMean*100, r.Connected.TruncMean*100,
+		r.Connected.FullP995*100, r.Connected.TruncP995*100)
+	xs, ps := r.Connected.Truncated.Points(72)
+	fmt.Println(textplot.Chart("CDF, truncated at 600 s/conn", xs, ps, 72, 8))
+
+	fmt.Println("== Figure 4: reference 24×7 matrices ==")
+	commute, peak, weekend := analysis.ReferenceMatrices()
+	fmt.Println(textplot.Matrix("commute peaks", &commute))
+	fmt.Println(textplot.Matrix("network peaks", &peak))
+	fmt.Println(textplot.Matrix("weekend", &weekend))
+
+	fmt.Println("== Figure 5: usage matrices of 3 sample cars ==")
+	for i, car := range sampleCars(records, 3) {
+		m := analysis.UsageMatrix(analysis.RecordsOfCar(records, car), ctx)
+		fmt.Println(textplot.Matrix(fmt.Sprintf("car %d (%d)", i+1, car), &m))
+	}
+
+	fmt.Println("== Figure 6: days on network ==")
+	fmt.Println(textplot.Histogram("cars per day-count", r.DaysHist.Counts, 72, 8))
+
+	if len(r.Segments) > 0 {
+		fmt.Println("== Table 2: car segmentation ==")
+		fmt.Println(analysis.FormatTable2(r.Segments))
+
+		fmt.Println("== Figure 7: time in busy cells ==")
+		fmt.Printf("cars > 50%% busy time: %.2f%%; cars ~100%%: %.2f%%\n",
+			r.Busy.OverHalf*100, r.Busy.AllBusy*100)
+		h := r.Busy.Histogram7a()
+		labels := make([]string, len(h))
+		for i := range h {
+			labels[i] = fmt.Sprintf("%d-%d%%", i*10, (i+1)*10)
+		}
+		fmt.Println(textplot.Bars("proportion of cars by busy-time decile", labels, h[:], 40))
+	}
+
+	fmt.Println("== Figure 8: one cell, 24 hours ==")
+	cell8, day8 := analysis.BusiestCellDay(records, ctx)
+	if !cell8.IsZero() {
+		cd := analysis.CellDay(records, ctx, cell8, day8)
+		fmt.Printf("cell %v day %d: %d cars, peak 15-min concurrency %d\n",
+			cell8, day8, cd.UniqueCars, cd.PeakCars)
+		spans := make([][][2]float64, 0, cd.UniqueCars)
+		byCar := map[uint64][][2]float64{}
+		dayStart := ctx.Period.DayStart(day8)
+		var order []uint64
+		for _, sp := range cd.Spans {
+			id := uint64(sp.Car)
+			if _, ok := byCar[id]; !ok {
+				order = append(order, id)
+			}
+			byCar[id] = append(byCar[id], [2]float64{
+				sp.Start.Sub(dayStart).Hours() / 24,
+				sp.End.Sub(dayStart).Hours() / 24,
+			})
+		}
+		for _, id := range order {
+			spans = append(spans, byCar[id])
+		}
+		fmt.Println(textplot.Timeline("connections", spans, 72, 40))
+	}
+
+	fmt.Println("== Figure 9: per-cell connection durations ==")
+	fmt.Printf("median %.0f s, p73 %.0f s, mean full %.0f s, mean truncated %.0f s\n",
+		r.Durations.Median, r.Durations.P73, r.Durations.FullMean, r.Durations.TruncMean)
+	xs, ps = r.Durations.Truncated.Points(72)
+	fmt.Println(textplot.Chart("CDF of durations (truncated)", xs, ps, 72, 8))
+
+	if ctx.Load != nil && len(r.Clusters.Cells) > 0 {
+		fmt.Println("== Figure 10: two sample busy radios over a week ==")
+		for i := 0; i < 2 && i < len(r.Clusters.Cells); i++ {
+			cw := analysis.CellWeek(records, ctx, r.Clusters.Cells[i], 0)
+			fmt.Println(textplot.WeekSeries(fmt.Sprintf("cell %v", cw.Cell),
+				cw.Concurrency[:], cw.Utilization[:], 96, 6))
+		}
+
+		fmt.Println("== Figure 11: k-means clusters over busy radios ==")
+		fmt.Printf("clusters: sizes %v, centroid peak ratio %.1fx\n",
+			r.Clusters.Sizes, r.Clusters.PeakRatio())
+		for c := 0; c < 2; c++ {
+			fmt.Println(textplot.Chart(fmt.Sprintf("cluster %d centroid (cars by time of day)", c+1),
+				binAxis(96), r.Clusters.Centroids[c], 72, 6))
+		}
+	}
+
+	fmt.Println("== §4.5: handovers per mobility session ==")
+	fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n",
+		r.Handovers.Sessions, r.Handovers.Median, r.Handovers.P70, r.Handovers.P90,
+		r.Handovers.InterBSShare()*100)
+	for kind, count := range r.Handovers.ByKind {
+		fmt.Printf("  %-22s %d\n", kind, count)
+	}
+	fmt.Println()
+
+	fmt.Println("== Table 3: carrier use ==")
+	fmt.Println(analysis.FormatTable3(r.Carriers))
+}
+
+// runStreaming analyzes a CDR file in one bounded-memory pass,
+// printing the record-level subset of the report (presence, connected
+// time, days, durations, carriers).
+func runStreaming(path string, period simtime.Period) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var r cdr.Reader
+	if strings.HasSuffix(path, ".csv") {
+		r = cdr.NewCSVReader(f)
+	} else {
+		r = cdr.NewBinaryReader(f)
+	}
+	s := analysis.NewStreaming(period)
+	if err := s.AddAll(r); err != nil {
+		return err
+	}
+	rep := s.Finalize()
+
+	fmt.Printf("streamed %d records (%d one-hour ghosts dropped)\n\n", rep.Records, rep.GhostsDropped)
+	fmt.Printf("== Figure 2 / Table 1: daily presence ==\n")
+	fmt.Printf("population: %d cars, %d cells touched\n", rep.Presence.TotalCars, rep.Presence.TotalCells)
+	fmt.Println(analysis.FormatTable1(rep.WeekdayRows))
+	fmt.Printf("== Figure 3: connected time ==\nmeans: full %.2f%%, truncated %.2f%%\n\n",
+		rep.Connected.FullMean*100, rep.Connected.TruncMean*100)
+	fmt.Printf("== Figure 6: days on network ==\n")
+	fmt.Println(textplot.Histogram("cars per day-count", rep.DaysCount, 72, 8))
+	fmt.Printf("== Figure 9: per-cell durations ==\nmedian ~%.0f s, p73 ~%.0f s, mean full %.0f s / trunc %.0f s\n\n",
+		rep.DurMedian, rep.DurP73, rep.DurFullMean, rep.DurTruncMean)
+	fmt.Printf("== Table 3: carrier use ==\n")
+	fmt.Println(analysis.FormatTable3(rep.Carriers))
+	return nil
+}
+
+func readFile(path string) ([]cdr.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r cdr.Reader
+	if strings.HasSuffix(path, ".csv") {
+		r = cdr.NewCSVReader(f)
+	} else {
+		r = cdr.NewBinaryReader(f)
+	}
+	return cdr.ReadAll(r)
+}
+
+// sampleCars picks n distinct car ids spread across the stream.
+func sampleCars(records []cdr.Record, n int) []cdr.CarID {
+	seen := map[cdr.CarID]int{}
+	for _, r := range records {
+		seen[r.Car]++
+	}
+	// Prefer cars with substantial history so the matrices show texture.
+	var out []cdr.CarID
+	for car, count := range seen {
+		if count > 50 {
+			out = append(out, car)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	for car := range seen {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, car)
+	}
+	return out
+}
+
+// allCells returns the distinct cells in the stream, in first-seen
+// order.
+func allCells(records []cdr.Record) []radio.CellKey {
+	seen := map[radio.CellKey]struct{}{}
+	var out []radio.CellKey
+	for _, r := range records {
+		if _, ok := seen[r.Cell]; !ok {
+			seen[r.Cell] = struct{}{}
+			out = append(out, r.Cell)
+		}
+	}
+	return out
+}
+
+func binAxis(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / 4 // hours
+	}
+	return xs
+}
+
+func dayAxis(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return xs
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caranalyze: "+format+"\n", args...)
+	os.Exit(1)
+}

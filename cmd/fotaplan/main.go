@@ -1,0 +1,100 @@
+// Command fotaplan plans and simulates a firmware-over-the-air update
+// campaign over a synthetic connected-car population, comparing the
+// push policies the measurement study motivates (§4.3): naive,
+// randomized, and segmentation-aware.
+//
+// Usage:
+//
+//	fotaplan -cars 2000 -days 28 -size 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/fota"
+	"cellcars/internal/simtime"
+	"cellcars/internal/synth"
+	"cellcars/internal/textplot"
+)
+
+func main() {
+	var (
+		cars = flag.Int("cars", 2000, "fleet size")
+		days = flag.Int("days", 28, "campaign window in days")
+		seed = flag.Uint64("seed", 1, "seed")
+		size = flag.Float64("size", 200, "update size in MB")
+		p    = flag.Float64("p", 0.25, "randomized policy push probability")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig(*cars)
+	cfg.Seed = *seed
+	cfg.Period = simtime.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), *days)
+	w := synth.NewWorld(cfg)
+
+	records, _, err := w.GenerateAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fotaplan: generate: %v\n", err)
+		os.Exit(1)
+	}
+	cleaned, err := cdr.ReadAll(clean.RemoveGhosts(cdr.NewSliceReader(records)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fotaplan: clean: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx := analysis.Context{Period: cfg.Period, Load: w.Load}
+	rareDays := *days / 9
+	if rareDays < 1 {
+		rareDays = 1
+	}
+	segments := fota.SegmentsFromReport(cleaned, ctx, rareDays)
+
+	rare, busyHour := 0, 0
+	for _, s := range segments {
+		if s.Rare {
+			rare++
+		}
+		if s.BusyHour {
+			busyHour++
+		}
+	}
+	fmt.Printf("population: %d cars with data; %d rare (<= %d days), %d busy-hour\n\n",
+		len(segments), rare, rareDays, busyHour)
+
+	base := fota.DefaultConfig(nil)
+	base.UpdateMB = *size
+	trainWeeks := *days / 14
+	if trainWeeks < 1 {
+		trainWeeks = 1
+	}
+	results := fota.Compare(cleaned, ctx, segments, base,
+		fota.NaivePolicy{},
+		fota.RandomizedPolicy{P: *p, Seed: *seed},
+		fota.SegmentAwarePolicy{BusyThreshold: w.Load.BusyThreshold()},
+		fota.ScheduledPolicy{
+			Period:        cfg.Period,
+			Windows:       fota.PlanWindows(cleaned, ctx, trainWeeks, 4),
+			BusyThreshold: w.Load.BusyThreshold(),
+		},
+	)
+
+	fmt.Printf("campaign: %.0f MB per car over %d days\n\n", *size, *days)
+	fmt.Println(fota.FormatResults(results))
+
+	for _, r := range results {
+		xs := make([]float64, len(r.CompletionDay))
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		fmt.Println(textplot.Chart(
+			fmt.Sprintf("%s: cumulative completion by day", r.Policy),
+			xs, r.CompletionDay, 60, 6))
+	}
+}

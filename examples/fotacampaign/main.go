@@ -1,0 +1,56 @@
+// FOTA campaign planning: use the measurement pipeline's car
+// segmentation to schedule a firmware rollout, then compare push
+// policies on completion speed versus load pushed into busy cells —
+// the management problem the paper's introduction motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cellcars"
+)
+
+func main() {
+	cfg := cellcars.DefaultSceneConfig(1200)
+	cfg.Seed = 7
+	// A four-week campaign window keeps the example fast.
+	cfg.Period = cellcars.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 28)
+	scene := cellcars.NewScene(cfg)
+
+	records, _, err := scene.GenerateAll()
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	clean, err := cellcars.ReadAll(cellcars.RemoveGhosts(cellcars.NewSliceReader(records)))
+	if err != nil {
+		log.Fatalf("clean: %v", err)
+	}
+
+	ctx := cellcars.AnalysisContext(scene)
+
+	// Segment the population from its own history: rare cars get
+	// priority; busy-hour cars need care.
+	segments := cellcars.FOTASegments(clean, ctx, 3)
+	rare := 0
+	for _, s := range segments {
+		if s.Rare {
+			rare++
+		}
+	}
+	fmt.Printf("campaign population: %d cars (%d rare)\n\n", len(segments), rare)
+
+	base := cellcars.DefaultFOTAConfig(nil)
+	base.UpdateMB = 500 // a hefty map+firmware bundle
+
+	results := cellcars.CompareFOTA(clean, ctx, segments, base,
+		cellcars.NaivePolicy{},
+		cellcars.RandomizedPolicy{P: 0.25, Seed: 7},
+		cellcars.SegmentAwarePolicy{BusyThreshold: scene.Load.BusyThreshold()},
+	)
+
+	fmt.Println(cellcars.FormatFOTAResults(results))
+	fmt.Println("Reading the table: segment-aware keeps busy-cell bytes near zero")
+	fmt.Println("(no 'pouring oil onto the fire', §4.3) at a small completion cost.")
+}

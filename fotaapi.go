@@ -1,0 +1,58 @@
+package cellcars
+
+import (
+	"cellcars/internal/analysis"
+	"cellcars/internal/fota"
+)
+
+// FOTA campaign planning (the management application the paper
+// motivates; see internal/fota).
+type (
+	// FOTAPolicy decides when update bytes may be pushed to a car.
+	FOTAPolicy = fota.Policy
+	// FOTAConfig parameterizes a campaign simulation.
+	FOTAConfig = fota.Config
+	// FOTAResult summarizes a simulated campaign.
+	FOTAResult = fota.Result
+	// FOTASegment is the per-car knowledge the planner uses.
+	FOTASegment = fota.Segment
+	// NaivePolicy pushes whenever a car is connected.
+	NaivePolicy = fota.NaivePolicy
+	// RandomizedPolicy pushes with a fixed probability per slice.
+	RandomizedPolicy = fota.RandomizedPolicy
+	// SegmentAwarePolicy prioritizes rare cars and defers common cars
+	// away from busy cells (§4.3).
+	SegmentAwarePolicy = fota.SegmentAwarePolicy
+)
+
+// DefaultFOTAConfig returns standard campaign parameters under the
+// given policy.
+func DefaultFOTAConfig(p FOTAPolicy) FOTAConfig { return fota.DefaultConfig(p) }
+
+// SimulateFOTA replays a record stream and runs one campaign.
+func SimulateFOTA(records []Record, ctx Context, segments map[CarID]FOTASegment, cfg FOTAConfig) FOTAResult {
+	return fota.Simulate(records, ctx, segments, cfg)
+}
+
+// CompareFOTA runs the same campaign under several policies.
+func CompareFOTA(records []Record, ctx Context, segments map[CarID]FOTASegment, base FOTAConfig, policies ...FOTAPolicy) []FOTAResult {
+	return fota.Compare(records, ctx, segments, base, policies...)
+}
+
+// FOTASegments derives per-car segments from a record stream using the
+// paper's thresholds.
+func FOTASegments(records []Record, ctx Context, rareDays int) map[CarID]FOTASegment {
+	return fota.SegmentsFromReport(records, ctx, rareDays)
+}
+
+// FormatFOTAResults renders campaign results as an aligned table.
+func FormatFOTAResults(results []FOTAResult) string { return fota.FormatResults(results) }
+
+// FormatTable1 renders a report's Table 1 (per-weekday presence).
+func FormatTable1(r *Report) string { return analysis.FormatTable1(r.WeekdayRows) }
+
+// FormatTable2 renders a report's Table 2 (car segmentation).
+func FormatTable2(r *Report) string { return analysis.FormatTable2(r.Segments) }
+
+// FormatTable3 renders a report's Table 3 (carrier usage).
+func FormatTable3(r *Report) string { return analysis.FormatTable3(r.Carriers) }

@@ -1,0 +1,3 @@
+module cellcars
+
+go 1.22

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/stats"
+)
+
+// BusyTime is Figure 7: the distribution over cars of the fraction of
+// connected time spent in busy cells (UPRB above the busy threshold in
+// the overlapped 15-minute bins).
+type BusyTime struct {
+	// FracByCar maps each car to its busy-time fraction.
+	FracByCar map[cdr.CarID]float64
+	// Deciles are the 0,10,…,100% quantiles of the fractions (Fig 7a).
+	Deciles [11]float64
+	// OverHalf is the proportion of cars with > 50% busy time
+	// (paper: ~2.4%).
+	OverHalf float64
+	// AllBusy is the proportion of cars with ≥ 99% busy time
+	// (paper: ~1%).
+	AllBusy float64
+}
+
+// BusyTimeOf computes Figure 7. For every record it apportions the
+// connected time across the 15-minute bins it overlaps and classifies
+// each slice busy or not using the context's load source. It panics
+// without a load source.
+func BusyTimeOf(records []cdr.Record, ctx Context) BusyTime {
+	if ctx.Load == nil {
+		panic("analysis: BusyTimeOf requires a load source")
+	}
+	busy := make(map[cdr.CarID]time.Duration)
+	total := make(map[cdr.CarID]time.Duration)
+	thresh := ctx.Load.BusyThreshold()
+	forEachRecord(records, func(r cdr.Record) {
+		first, last := ctx.Period.BinRange(r.Start, r.Duration)
+		for bin := first; bin < last; bin++ {
+			overlap := ctx.Period.OverlapWithBin(bin, r.Start, r.Duration)
+			if overlap <= 0 {
+				continue
+			}
+			total[r.Car] += overlap
+			if ctx.Load.Utilization(r.Cell, bin) > thresh {
+				busy[r.Car] += overlap
+			}
+		}
+	})
+
+	bt := BusyTime{FracByCar: make(map[cdr.CarID]float64, len(total))}
+	fracs := make([]float64, 0, len(total))
+	var overHalf, allBusy int
+	for car, tot := range total {
+		if tot <= 0 {
+			continue
+		}
+		f := float64(busy[car]) / float64(tot)
+		bt.FracByCar[car] = f
+		fracs = append(fracs, f)
+		if f > 0.5 {
+			overHalf++
+		}
+		if f >= 0.99 {
+			allBusy++
+		}
+	}
+	if len(fracs) > 0 {
+		bt.Deciles = stats.Deciles(fracs)
+		bt.OverHalf = float64(overHalf) / float64(len(fracs))
+		bt.AllBusy = float64(allBusy) / float64(len(fracs))
+	}
+	return bt
+}
+
+// Histogram7a buckets the busy-time fractions into the Figure 7a bars:
+// proportion of cars per 10-percentage-point bucket of busy time.
+func (bt BusyTime) Histogram7a() [10]float64 {
+	var out [10]float64
+	if len(bt.FracByCar) == 0 {
+		return out
+	}
+	for _, f := range bt.FracByCar {
+		b := int(f * 10)
+		if b >= 10 {
+			b = 9
+		}
+		out[b]++
+	}
+	n := float64(len(bt.FracByCar))
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// Histogram7b buckets cars with at least 50% busy time by decade
+// (50-60 … 90-100), as proportions of that subpopulation (Fig 7b).
+func (bt BusyTime) Histogram7b() [5]float64 {
+	var out [5]float64
+	n := 0.0
+	for _, f := range bt.FracByCar {
+		if f < 0.5 {
+			continue
+		}
+		b := int((f - 0.5) * 10)
+		if b >= 5 {
+			b = 4
+		}
+		out[b]++
+		n++
+	}
+	if n > 0 {
+		for i := range out {
+			out[i] /= n
+		}
+	}
+	return out
+}
+
+// Segment is a Table 2 row bucket: how much of the car population is
+// rare vs common, split by whether their connected time concentrates
+// in busy hours, non-busy hours, or both.
+type Segment struct {
+	RareDays int // the "rare" threshold in days (10 or 30 in the paper)
+	// Fractions of the whole car population.
+	RareBusy, RareNonBusy, RareBoth       float64
+	CommonBusy, CommonNonBusy, CommonBoth float64
+}
+
+// RareTotal returns the total rare fraction.
+func (s Segment) RareTotal() float64 { return s.RareBusy + s.RareNonBusy + s.RareBoth }
+
+// CommonTotal returns the total common fraction.
+func (s Segment) CommonTotal() float64 { return s.CommonBusy + s.CommonNonBusy + s.CommonBoth }
+
+// SegmentationThresholds are the paper's §4.3 classification bounds: a
+// car is a busy-hour car when ≥ 65% of its connected time is on busy
+// cells, a non-busy-hour car when ≤ 35%, otherwise balanced ("both").
+const (
+	BusyCarMinFrac    = 0.65
+	NonBusyCarMaxFrac = 0.35
+)
+
+// Segmentation produces Table 2 for the given rare-day thresholds
+// (the paper uses 10 and 30).
+func Segmentation(records []cdr.Record, ctx Context, rareDays ...int) []Segment {
+	bt := BusyTimeOf(records, ctx)
+	days := DaysOnNetwork(records, ctx.Period)
+	out := make([]Segment, 0, len(rareDays))
+	n := float64(len(days))
+	for _, rd := range rareDays {
+		seg := Segment{RareDays: rd}
+		if n == 0 {
+			out = append(out, seg)
+			continue
+		}
+		for car, d := range days {
+			f, ok := bt.FracByCar[car]
+			var bucket *float64
+			rare := d <= rd
+			switch {
+			case ok && f >= BusyCarMinFrac:
+				if rare {
+					bucket = &seg.RareBusy
+				} else {
+					bucket = &seg.CommonBusy
+				}
+			case !ok || f <= NonBusyCarMaxFrac:
+				if rare {
+					bucket = &seg.RareNonBusy
+				} else {
+					bucket = &seg.CommonNonBusy
+				}
+			default:
+				if rare {
+					bucket = &seg.RareBoth
+				} else {
+					bucket = &seg.CommonBoth
+				}
+			}
+			*bucket += 1 / n
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// FormatTable2 renders segmentation rows in the paper's Table 2 layout.
+func FormatTable2(segments []Segment) string {
+	s := fmt.Sprintf("%-22s  %6s  %8s  %6s  %6s\n", "Segment", "Busy", "Non-Busy", "Both", "Total")
+	for _, seg := range segments {
+		s += fmt.Sprintf("Rare (<= %2d days)       %5.1f%%  %7.1f%%  %5.1f%%  %5.1f%%\n",
+			seg.RareDays, seg.RareBusy*100, seg.RareNonBusy*100, seg.RareBoth*100, seg.RareTotal()*100)
+		s += fmt.Sprintf("Common (%2d+ days)       %5.1f%%  %7.1f%%  %5.1f%%  %5.1f%%\n",
+			seg.RareDays, seg.CommonBusy*100, seg.CommonNonBusy*100, seg.CommonBoth*100, seg.CommonTotal()*100)
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+)
+
+// CarrierUsage is Table 3: per carrier, the fraction of cars that ever
+// connected to it and the fraction of total connected time spent on it.
+type CarrierUsage struct {
+	// CarsFrac[c] is the fraction of all cars ever seen on carrier c.
+	CarsFrac map[radio.CarrierID]float64
+	// TimeFrac[c] is the fraction of total connected time on carrier c.
+	TimeFrac map[radio.CarrierID]float64
+	// TotalCars is the distinct car count (the CarsFrac denominator).
+	TotalCars int
+}
+
+// CarrierUsageOf computes Table 3 from ghost-free records.
+func CarrierUsageOf(records []cdr.Record) CarrierUsage {
+	carsOn := make(map[radio.CarrierID]map[cdr.CarID]struct{})
+	timeOn := make(map[radio.CarrierID]time.Duration)
+	allCars := make(map[cdr.CarID]struct{})
+	var total time.Duration
+	forEachRecord(records, func(r cdr.Record) {
+		c := r.Cell.Carrier()
+		set, ok := carsOn[c]
+		if !ok {
+			set = make(map[cdr.CarID]struct{})
+			carsOn[c] = set
+		}
+		set[r.Car] = struct{}{}
+		allCars[r.Car] = struct{}{}
+		timeOn[c] += r.Duration
+		total += r.Duration
+	})
+
+	u := CarrierUsage{
+		CarsFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
+		TimeFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
+		TotalCars: len(allCars),
+	}
+	for c := radio.C1; c <= radio.C5; c++ {
+		if len(allCars) > 0 {
+			u.CarsFrac[c] = float64(len(carsOn[c])) / float64(len(allCars))
+		}
+		if total > 0 {
+			u.TimeFrac[c] = float64(timeOn[c]) / float64(total)
+		}
+	}
+	return u
+}
+
+// FormatTable3 renders carrier usage in the paper's Table 3 layout.
+func FormatTable3(u CarrierUsage) string {
+	s := fmt.Sprintf("%-8s", "Carrier")
+	for c := radio.C1; c <= radio.C5; c++ {
+		s += fmt.Sprintf("  %8s", c)
+	}
+	s += fmt.Sprintf("\n%-8s", "Cars(%)")
+	for c := radio.C1; c <= radio.C5; c++ {
+		s += fmt.Sprintf("  %7.3f%%", u.CarsFrac[c]*100)
+	}
+	s += fmt.Sprintf("\n%-8s", "Time(%)")
+	for c := radio.C1; c <= radio.C5; c++ {
+		s += fmt.Sprintf("  %7.3f%%", u.TimeFrac[c]*100)
+	}
+	return s + "\n"
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+	"cellcars/internal/stats"
+)
+
+// HandoverStats is §4.5: handover counts within mobility sessions
+// (connections concatenated across gaps of up to 10 minutes).
+type HandoverStats struct {
+	// Sessions is the number of mobility sessions analyzed.
+	Sessions int
+	// Median, P70, P90 are the per-session handover-count percentiles
+	// (paper: 2, 4, 9).
+	Median, P70, P90 float64
+	// ByKind counts every handover by kind across all sessions; the
+	// paper finds inter-base-station dominant and the rest negligible.
+	ByKind map[radio.HandoverKind]int64
+	// PerSession is the CDF of per-session handover counts.
+	PerSession *stats.CDF
+}
+
+// HandoversOf computes §4.5 from ghost-free, time-sorted records.
+// Sessions with a single connection (zero possible handovers) count
+// toward the distribution, as the paper's lower-bound methodology
+// implies.
+func HandoversOf(records []cdr.Record) (HandoverStats, error) {
+	hs := HandoverStats{ByKind: make(map[radio.HandoverKind]int64)}
+	sessions, err := clean.Sessions(cdr.NewSliceReader(records), clean.MobilityGap)
+	if err != nil {
+		return hs, err
+	}
+	counts := make([]float64, 0, len(sessions))
+	for i := range sessions {
+		n := 0
+		for kind, c := range sessions[i].Handovers() {
+			hs.ByKind[kind] += int64(c)
+			n += c
+		}
+		counts = append(counts, float64(n))
+	}
+	hs.Sessions = len(sessions)
+	hs.PerSession = stats.NewCDF(counts)
+	if len(counts) > 0 {
+		hs.Median = hs.PerSession.Quantile(0.5)
+		hs.P70 = hs.PerSession.Quantile(0.7)
+		hs.P90 = hs.PerSession.Quantile(0.9)
+	}
+	return hs, nil
+}
+
+// InterBSShare returns the fraction of all handovers that cross base
+// stations.
+func (h HandoverStats) InterBSShare() float64 {
+	var total, bs int64
+	for kind, c := range h.ByKind {
+		total += c
+		if kind == radio.HandoverInterBS {
+			bs += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(bs) / float64(total)
+}

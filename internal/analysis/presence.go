@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+	"cellcars/internal/stats"
+)
+
+// DailyPresence is Figure 2: the fraction of the car population on the
+// network and of the touched cell population with cars, per study day,
+// with least-squares trend lines.
+type DailyPresence struct {
+	// TotalCars and TotalCells are the distinct cars and cells seen in
+	// the whole data set (the denominators).
+	TotalCars, TotalCells int
+	// CarsFrac[d] is the fraction of TotalCars seen on day d; CellsFrac
+	// likewise for cells.
+	CarsFrac, CellsFrac []float64
+	// CarsTrend and CellsTrend are the Figure 2 trend lines over day
+	// index.
+	CarsTrend, CellsTrend stats.LinReg
+}
+
+// DailyPresenceOf computes Figure 2 from a record stream. A car or
+// cell counts as present on the day a connection starts.
+func DailyPresenceOf(records []cdr.Record, period simtime.Period) DailyPresence {
+	days := period.Days()
+	carDay := make(map[cdr.CarID]uint64)
+	cellDay := make(map[radio.CellKey]uint64)
+	carsPerDay := make([]int, days)
+	cellsPerDay := make([]int, days)
+
+	// Presence bitmaps keyed per car/cell: uint64 words, enough for the
+	// 90-day default; longer periods fall back to day-count dedup below.
+	useBitmap := days <= 64
+	type daySet map[int]struct{}
+	var carDays map[cdr.CarID]daySet
+	var cellDays map[radio.CellKey]daySet
+	if !useBitmap {
+		carDays = make(map[cdr.CarID]daySet)
+		cellDays = make(map[radio.CellKey]daySet)
+	}
+
+	forEachRecord(records, func(r cdr.Record) {
+		day := period.DayIndex(r.Start)
+		if day < 0 {
+			return
+		}
+		if useBitmap {
+			bit := uint64(1) << uint(day)
+			if carDay[r.Car]&bit == 0 {
+				carDay[r.Car] |= bit
+				carsPerDay[day]++
+			}
+			if cellDay[r.Cell]&bit == 0 {
+				cellDay[r.Cell] |= bit
+				cellsPerDay[day]++
+			}
+		} else {
+			cs, ok := carDays[r.Car]
+			if !ok {
+				cs = make(daySet)
+				carDays[r.Car] = cs
+			}
+			if _, seen := cs[day]; !seen {
+				cs[day] = struct{}{}
+				carsPerDay[day]++
+			}
+			ls, ok := cellDays[r.Cell]
+			if !ok {
+				ls = make(daySet)
+				cellDays[r.Cell] = ls
+			}
+			if _, seen := ls[day]; !seen {
+				ls[day] = struct{}{}
+				cellsPerDay[day]++
+			}
+		}
+	})
+
+	var p DailyPresence
+	if useBitmap {
+		p.TotalCars, p.TotalCells = len(carDay), len(cellDay)
+	} else {
+		p.TotalCars, p.TotalCells = len(carDays), len(cellDays)
+	}
+	p.CarsFrac = make([]float64, days)
+	p.CellsFrac = make([]float64, days)
+	xs := make([]float64, days)
+	for d := 0; d < days; d++ {
+		xs[d] = float64(d)
+		if p.TotalCars > 0 {
+			p.CarsFrac[d] = float64(carsPerDay[d]) / float64(p.TotalCars)
+		}
+		if p.TotalCells > 0 {
+			p.CellsFrac[d] = float64(cellsPerDay[d]) / float64(p.TotalCells)
+		}
+	}
+	p.CarsTrend = stats.Fit(xs, p.CarsFrac)
+	p.CellsTrend = stats.Fit(xs, p.CellsFrac)
+	return p
+}
+
+// WeekdayRow is one row of Table 1: mean and sample standard deviation
+// of the daily fractions grouped by day of week.
+type WeekdayRow struct {
+	Label               string
+	CellsMean, CellsStd float64
+	CarsMean, CarsStd   float64
+}
+
+// Table1 groups a DailyPresence by weekday, reproducing Table 1:
+// "% cells with cars" and "% cars on network" per day of week plus an
+// overall row. Rows are ordered Monday..Sunday, then Overall.
+func Table1(p DailyPresence, period simtime.Period) []WeekdayRow {
+	labels := []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+	var cells, cars [8]stats.Moments
+	for d := 0; d < period.Days() && d < len(p.CarsFrac); d++ {
+		w := (int(period.Weekday(d)) + 6) % 7
+		cells[w].Add(p.CellsFrac[d])
+		cars[w].Add(p.CarsFrac[d])
+		cells[7].Add(p.CellsFrac[d])
+		cars[7].Add(p.CarsFrac[d])
+	}
+	rows := make([]WeekdayRow, 0, 8)
+	for w := 0; w < 7; w++ {
+		rows = append(rows, WeekdayRow{
+			Label:     labels[w],
+			CellsMean: cells[w].Mean(), CellsStd: cells[w].SampleStdDev(),
+			CarsMean: cars[w].Mean(), CarsStd: cars[w].SampleStdDev(),
+		})
+	}
+	rows = append(rows, WeekdayRow{
+		Label:     "Overall",
+		CellsMean: cells[7].Mean(), CellsStd: cells[7].SampleStdDev(),
+		CarsMean: cars[7].Mean(), CarsStd: cars[7].SampleStdDev(),
+	})
+	return rows
+}
+
+// FormatTable1 renders Table 1 rows in the paper's layout.
+func FormatTable1(rows []WeekdayRow) string {
+	s := fmt.Sprintf("%-10s  %%cells-mean  %%cells-std  %%cars-mean  %%cars-std\n", "Day")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10s  %10.1f%%  %9.1f%%  %9.1f%%  %8.1f%%\n",
+			r.Label, r.CellsMean*100, r.CellsStd*100, r.CarsMean*100, r.CarsStd*100)
+	}
+	return s
+}
+
+// DaysOnNetwork returns, per car, the number of distinct study days
+// with at least one connection — the quantity of Figure 6.
+func DaysOnNetwork(records []cdr.Record, period simtime.Period) map[cdr.CarID]int {
+	days := make(map[cdr.CarID]uint64)
+	spill := make(map[cdr.CarID]map[int]struct{})
+	useBitmap := period.Days() <= 64
+	forEachRecord(records, func(r cdr.Record) {
+		day := period.DayIndex(r.Start)
+		if day < 0 {
+			return
+		}
+		if useBitmap {
+			days[r.Car] |= uint64(1) << uint(day)
+		} else {
+			s, ok := spill[r.Car]
+			if !ok {
+				s = make(map[int]struct{})
+				spill[r.Car] = s
+			}
+			s[day] = struct{}{}
+		}
+	})
+	out := make(map[cdr.CarID]int)
+	if useBitmap {
+		for car, bits := range days {
+			out[car] = popcount(bits)
+		}
+	} else {
+		for car, s := range spill {
+			out[car] = len(s)
+		}
+	}
+	return out
+}
+
+// DaysHistogram bins DaysOnNetwork counts into a Figure 6 histogram
+// with one bin per possible day count (1..Days).
+func DaysHistogram(records []cdr.Record, period simtime.Period) *stats.Histogram {
+	h := stats.NewHistogram(0.5, 1, period.Days())
+	for _, n := range DaysOnNetwork(records, period) {
+		h.Add(float64(n))
+	}
+	return h
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ConnectedTime is Figure 3: the distribution over cars of total time
+// on the network as a fraction of the study period, with and without
+// the 600-second per-connection truncation.
+type ConnectedTime struct {
+	// Full and Truncated are the per-car fraction CDFs.
+	Full, Truncated *stats.CDF
+	// FullMean/TruncMean are the population means (paper: ~8% / ~4%).
+	FullMean, TruncMean float64
+	// FullP995/TruncP995 are the 99.5th percentiles (paper: 27% / 15%).
+	FullP995, TruncP995 float64
+}
+
+// ConnectedTimeOf computes Figure 3. Records should be ghost-free; the
+// function derives the truncated variant itself.
+func ConnectedTimeOf(records []cdr.Record, period simtime.Period) ConnectedTime {
+	const limitSec = 600
+	fullByCar := make(map[cdr.CarID]int64)
+	truncByCar := make(map[cdr.CarID]int64)
+	forEachRecord(records, func(r cdr.Record) {
+		sec := int64(r.Duration / time.Second)
+		fullByCar[r.Car] += sec
+		truncByCar[r.Car] += truncDur(sec, limitSec)
+	})
+	total := float64(period.Seconds())
+	full := make([]float64, 0, len(fullByCar))
+	trunc := make([]float64, 0, len(truncByCar))
+	for car, sec := range fullByCar {
+		full = append(full, float64(sec)/total)
+		trunc = append(trunc, float64(truncByCar[car])/total)
+	}
+	ct := ConnectedTime{Full: stats.NewCDF(full), Truncated: stats.NewCDF(trunc)}
+	if len(full) > 0 {
+		ct.FullMean = ct.Full.Mean()
+		ct.TruncMean = ct.Truncated.Mean()
+		ct.FullP995 = ct.Full.Quantile(0.995)
+		ct.TruncP995 = ct.Truncated.Quantile(0.995)
+	}
+	return ct
+}

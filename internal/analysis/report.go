@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"math/rand/v2"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+	"cellcars/internal/stats"
+)
+
+// Report bundles every analysis of §4 computed over one data set — the
+// output of a full pipeline run.
+type Report struct {
+	// Presence and WeekdayRows cover Figure 2 and Table 1.
+	Presence    DailyPresence
+	WeekdayRows []WeekdayRow
+	// Connected covers Figure 3.
+	Connected ConnectedTime
+	// DaysHist covers Figure 6.
+	DaysHist *stats.Histogram
+	// Segments covers Table 2 (rare thresholds 10 and 30 days).
+	Segments []Segment
+	// Busy covers Figure 7.
+	Busy BusyTime
+	// Durations covers Figure 9.
+	Durations CellDurations
+	// Handovers covers §4.5.
+	Handovers HandoverStats
+	// Carriers covers Table 3.
+	Carriers CarrierUsage
+	// Clusters covers Figure 11; empty when no busy cells were supplied.
+	Clusters BusyClusters
+
+	// RawRecords and CleanRecords count the stream before and after
+	// ghost removal.
+	RawRecords, CleanRecords int
+}
+
+// RunOptions tunes a full pipeline run.
+type RunOptions struct {
+	// RareDays are the Table 2 thresholds. Defaults to {10, 30}.
+	RareDays []int
+	// BusyCells is the Figure 11 clustering population (cells whose
+	// average weekly UPRB is at least 70%); clustering is skipped when
+	// empty.
+	BusyCells []radio.CellKey
+	// Seed drives k-means++ initialization. Default 1.
+	Seed uint64
+}
+
+// Run executes the complete measurement pipeline over a raw record
+// stream: ghost removal (§3), then every analysis in §4. The input
+// slice is not modified.
+func Run(records []cdr.Record, ctx Context, opts RunOptions) (*Report, error) {
+	if opts.RareDays == nil {
+		opts.RareDays = []int{10, 30}
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cleaned, err := cdr.ReadAll(clean.RemoveGhosts(cdr.NewSliceReader(records)))
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{RawRecords: len(records), CleanRecords: len(cleaned)}
+	r.Presence = DailyPresenceOf(cleaned, ctx.Period)
+	r.WeekdayRows = Table1(r.Presence, ctx.Period)
+	r.Connected = ConnectedTimeOf(cleaned, ctx.Period)
+	r.DaysHist = DaysHistogram(cleaned, ctx.Period)
+	if ctx.Load != nil {
+		r.Segments = Segmentation(cleaned, ctx, opts.RareDays...)
+		r.Busy = BusyTimeOf(cleaned, ctx)
+	}
+	r.Durations = CellDurationsOf(cleaned)
+	// Handover accounting runs on the truncated stream: the paper's §3
+	// truncation exists precisely so stuck sessions do not bridge
+	// otherwise-separate mobility sessions.
+	truncated, err := cdr.ReadAll(clean.Truncate(cdr.NewSliceReader(cleaned), clean.TruncateLimit))
+	if err != nil {
+		return nil, err
+	}
+	r.Handovers, err = HandoversOf(truncated)
+	if err != nil {
+		return nil, err
+	}
+	r.Carriers = CarrierUsageOf(cleaned)
+	if ctx.Load != nil && len(opts.BusyCells) >= 2 {
+		rng := rand.New(rand.NewPCG(opts.Seed, 0xF16))
+		r.Clusters = ClusterBusyCells(cleaned, ctx, opts.BusyCells, rng)
+	}
+	return r, nil
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	radioPkg "cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+func TestStreamingMatchesBatchOnBasics(t *testing.T) {
+	period := simtime.NewPeriod(t0, 14)
+	var records []cdr.Record
+	// A small deterministic workload: 20 cars, varied days/durations.
+	for car := cdr.CarID(1); car <= 20; car++ {
+		for d := 0; d < int(car); d++ {
+			records = append(records,
+				rec(car, cell(radioPkg.BSID(car%7)), time.Duration(d)*24*time.Hour+time.Duration(car)*time.Hour,
+					time.Duration(50+10*int(car))*time.Second))
+		}
+	}
+	// Plus a ghost that must be dropped.
+	records = append(records, rec(1, cell(1), time.Hour, time.Hour))
+
+	s := NewStreaming(period)
+	if err := s.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Finalize()
+	if rep.GhostsDropped != 1 {
+		t.Fatalf("ghosts dropped = %d", rep.GhostsDropped)
+	}
+
+	// Batch reference (on the ghost-free stream).
+	ghostFree := records[:len(records)-1]
+	batchPresence := DailyPresenceOf(ghostFree, period)
+	if rep.Presence.TotalCars != batchPresence.TotalCars {
+		t.Fatalf("total cars %d vs %d", rep.Presence.TotalCars, batchPresence.TotalCars)
+	}
+	for d := range batchPresence.CarsFrac {
+		if math.Abs(rep.Presence.CarsFrac[d]-batchPresence.CarsFrac[d]) > 1e-12 {
+			t.Fatalf("day %d cars frac %v vs %v", d, rep.Presence.CarsFrac[d], batchPresence.CarsFrac[d])
+		}
+	}
+
+	batchCT := ConnectedTimeOf(ghostFree, period)
+	if math.Abs(rep.Connected.FullMean-batchCT.FullMean) > 1e-12 {
+		t.Fatalf("full mean %v vs %v", rep.Connected.FullMean, batchCT.FullMean)
+	}
+	if math.Abs(rep.Connected.TruncMean-batchCT.TruncMean) > 1e-12 {
+		t.Fatalf("trunc mean %v vs %v", rep.Connected.TruncMean, batchCT.TruncMean)
+	}
+
+	batchDays := DaysOnNetwork(ghostFree, period)
+	for car, n := range batchDays {
+		_ = car
+		if n < 1 || n > 14 {
+			t.Fatalf("days %d out of range", n)
+		}
+	}
+	var totalCars int64
+	for _, c := range rep.DaysCount {
+		totalCars += c
+	}
+	if int(totalCars) != len(batchDays) {
+		t.Fatalf("days histogram covers %d cars, want %d", totalCars, len(batchDays))
+	}
+
+	batchCarr := CarrierUsageOf(ghostFree)
+	for c, f := range batchCarr.TimeFrac {
+		if math.Abs(rep.Carriers.TimeFrac[c]-f) > 1e-12 {
+			t.Fatalf("carrier %v time frac %v vs %v", c, rep.Carriers.TimeFrac[c], f)
+		}
+	}
+
+	batchDur := CellDurationsOf(ghostFree)
+	if math.Abs(rep.DurFullMean-batchDur.FullMean) > 1e-9 {
+		t.Fatalf("full dur mean %v vs %v", rep.DurFullMean, batchDur.FullMean)
+	}
+	if math.Abs(rep.DurTruncMean-batchDur.TruncMean) > 1e-9 {
+		t.Fatalf("trunc dur mean %v vs %v", rep.DurTruncMean, batchDur.TruncMean)
+	}
+	// Approximate quantiles within one log-bin (~7%) of exact.
+	if batchDur.Median > 0 {
+		ratio := rep.DurMedian / batchDur.Median
+		if ratio < 0.90 || ratio > 1.12 {
+			t.Fatalf("median approx %v vs exact %v", rep.DurMedian, batchDur.Median)
+		}
+	}
+}
+
+func TestStreamingEmpty(t *testing.T) {
+	s := NewStreaming(simtime.NewPeriod(t0, 7))
+	rep := s.Finalize()
+	if rep.Records != 0 || rep.Presence.TotalCars != 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.DurMedian != 0 {
+		t.Fatalf("empty median = %v", rep.DurMedian)
+	}
+}
+
+func TestStreamingReFinalize(t *testing.T) {
+	period := simtime.NewPeriod(t0, 7)
+	s := NewStreaming(period)
+	s.Add(rec(1, cell(1), time.Hour, time.Minute))
+	a := s.Finalize()
+	s.Add(rec(2, cell(2), 2*time.Hour, time.Minute))
+	b := s.Finalize()
+	if a.Presence.TotalCars != 1 || b.Presence.TotalCars != 2 {
+		t.Fatalf("re-finalize: %d then %d cars", a.Presence.TotalCars, b.Presence.TotalCars)
+	}
+}
+
+func TestDaysBits(t *testing.T) {
+	var d daysBits
+	if !d.set(0) || d.set(0) {
+		t.Fatal("set idempotence")
+	}
+	if !d.set(89) {
+		t.Fatal("day 89")
+	}
+	if d.count() != 2 {
+		t.Fatalf("count = %d", d.count())
+	}
+}
+
+func TestLogHistQuantiles(t *testing.T) {
+	h := newLogHist()
+	for i := 0; i < 1000; i++ {
+		h.add(100)
+	}
+	q := h.quantile(0.5)
+	if q < 90 || q > 112 {
+		t.Fatalf("median of constant-100 data = %v", q)
+	}
+	// Sub-second values count as zero bin.
+	h2 := newLogHist()
+	h2.add(0.5)
+	if got := h2.quantile(0.5); got != 0 {
+		t.Fatalf("sub-second quantile = %v", got)
+	}
+	// Empty histogram.
+	if got := newLogHist().quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	// Huge values clamp to the last bin.
+	h3 := newLogHist()
+	h3.add(1e12)
+	if got := h3.quantile(0.5); math.IsInf(got, 0) || got <= 0 {
+		t.Fatalf("clamped quantile = %v", got)
+	}
+}
+
+// TestStreamingLargeEquivalence runs streaming vs batch over a bigger
+// synthetic-ish random workload to catch accumulation drift.
+func TestStreamingLargeEquivalence(t *testing.T) {
+	period := simtime.NewPeriod(t0, 28)
+	var records []cdr.Record
+	for i := 0; i < 20000; i++ {
+		car := cdr.CarID(i % 311)
+		bs := radioPkg.BSID(i % 97)
+		start := time.Duration(i%24*28) * time.Hour
+		dur := time.Duration(30+i%900) * time.Second
+		records = append(records, rec(car, cell(bs), start, dur))
+	}
+	s := NewStreaming(period)
+	for _, r := range records {
+		s.Add(r)
+	}
+	rep := s.Finalize()
+	batch := ConnectedTimeOf(records, period)
+	if math.Abs(rep.Connected.FullMean-batch.FullMean) > 1e-12 {
+		t.Fatalf("drift: %v vs %v", rep.Connected.FullMean, batch.FullMean)
+	}
+	if rep.Records != int64(len(records)) {
+		t.Fatalf("records = %d", rep.Records)
+	}
+}

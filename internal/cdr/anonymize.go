@@ -1,0 +1,62 @@
+package cdr
+
+import "encoding/binary"
+
+// Anonymizer maps raw device identifiers to stable anonymized CarIDs
+// using a keyed 64-bit FNV-1a style hash. The same (key, raw id) pair
+// always yields the same CarID, so longitudinal per-car analyses still
+// work, while the raw identifier cannot be recovered without the key.
+// This mirrors the paper's methodology: "records are anonymized ... and
+// do not contain sensitive personal or identifiable information" (§3).
+type Anonymizer struct {
+	key uint64
+}
+
+// NewAnonymizer returns an anonymizer with the given secret key.
+func NewAnonymizer(key uint64) *Anonymizer {
+	return &Anonymizer{key: key}
+}
+
+// Anonymize maps a raw identifier to its anonymized CarID.
+func (a *Anonymizer) Anonymize(raw uint64) CarID {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], a.key)
+	binary.LittleEndian.PutUint64(buf[8:], raw)
+	h := uint64(offset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// Avalanche finalizer (from SplitMix64) so sequential raw ids do not
+	// produce correlated hashes.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return CarID(h)
+}
+
+// AnonymizeReader wraps a reader, rewriting every record's Car through
+// the anonymizer.
+func AnonymizeReader(r Reader, a *Anonymizer) Reader {
+	return &anonReader{r: r, a: a}
+}
+
+type anonReader struct {
+	r Reader
+	a *Anonymizer
+}
+
+func (ar *anonReader) Read() (Record, error) {
+	rec, err := ar.r.Read()
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Car = ar.a.Anonymize(uint64(rec.Car))
+	return rec, nil
+}

@@ -1,0 +1,247 @@
+// Package cdr defines the Call Detail Record substrate: the radio-level
+// connection record schema used throughout the pipeline, streaming
+// readers and writers in CSV and binary formats, k-way merging of
+// time-sorted streams, and keyed anonymization of car identifiers.
+//
+// A record describes one radio-level connection: which car, which cell
+// (base station/sector/carrier), when it started, and how long it
+// lasted. As in the paper's data set (§3), records carry no data
+// volumes and no personal information.
+package cdr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cellcars/internal/radio"
+)
+
+// CarID is an anonymized car identifier.
+type CarID uint64
+
+// Record is one radio-level connection event.
+type Record struct {
+	Car      CarID
+	Cell     radio.CellKey
+	Start    time.Time
+	Duration time.Duration
+}
+
+// End returns the instant the connection ended.
+func (r Record) End() time.Time { return r.Start.Add(r.Duration) }
+
+// Validate checks structural invariants: a known carrier, a
+// non-negative duration, and a non-zero start.
+func (r Record) Validate() error {
+	if !r.Cell.Carrier().Valid() {
+		return fmt.Errorf("cdr: record for car %d has invalid carrier %d", r.Car, r.Cell.Carrier())
+	}
+	if r.Duration < 0 {
+		return fmt.Errorf("cdr: record for car %d has negative duration %v", r.Car, r.Duration)
+	}
+	if r.Start.IsZero() {
+		return fmt.Errorf("cdr: record for car %d has zero start time", r.Car)
+	}
+	return nil
+}
+
+// Before orders records by start time, breaking ties by car then cell,
+// giving a total deterministic order.
+func (r Record) Before(o Record) bool {
+	if !r.Start.Equal(o.Start) {
+		return r.Start.Before(o.Start)
+	}
+	if r.Car != o.Car {
+		return r.Car < o.Car
+	}
+	return r.Cell < o.Cell
+}
+
+// Reader is the streaming source abstraction for CDR records. Read
+// returns io.EOF after the last record.
+type Reader interface {
+	Read() (Record, error)
+}
+
+// Writer is the streaming sink abstraction for CDR records.
+type Writer interface {
+	Write(Record) error
+}
+
+// ErrClosed is returned by operations on a closed reader or writer.
+var ErrClosed = errors.New("cdr: closed")
+
+// SliceReader streams records from an in-memory slice.
+type SliceReader struct {
+	records []Record
+	pos     int
+}
+
+// NewSliceReader returns a Reader over the given records. The slice is
+// not copied; callers must not mutate it while reading.
+func NewSliceReader(records []Record) *SliceReader {
+	return &SliceReader{records: records}
+}
+
+// Read returns the next record or io.EOF.
+func (s *SliceReader) Read() (Record, error) {
+	if s.pos >= len(s.records) {
+		return Record{}, io.EOF
+	}
+	r := s.records[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// SliceWriter collects records into memory.
+type SliceWriter struct {
+	Records []Record
+}
+
+// Write appends the record.
+func (s *SliceWriter) Write(r Record) error {
+	s.Records = append(s.Records, r)
+	return nil
+}
+
+// ReadAll drains a reader into a slice.
+func ReadAll(r Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes every record to w.
+func WriteAll(w Writer, records []Record) error {
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sort orders records in place by (start, car, cell).
+func Sort(records []Record) {
+	sort.Slice(records, func(i, j int) bool { return records[i].Before(records[j]) })
+}
+
+// Sorted reports whether records are ordered by (start, car, cell).
+func Sorted(records []Record) bool {
+	return sort.SliceIsSorted(records, func(i, j int) bool { return records[i].Before(records[j]) })
+}
+
+// Merge returns a Reader yielding the union of the given time-sorted
+// readers in global (start, car, cell) order, using a k-way heap merge
+// with O(k) memory. Input readers must each be sorted; Merge returns
+// records as-is otherwise, with no guarantee of global order.
+func Merge(readers ...Reader) Reader {
+	m := &mergeReader{}
+	for _, r := range readers {
+		rec, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				continue
+			}
+			m.err = err
+			continue
+		}
+		m.heap = append(m.heap, mergeItem{rec: rec, src: r})
+	}
+	m.init()
+	return m
+}
+
+type mergeItem struct {
+	rec Record
+	src Reader
+}
+
+type mergeReader struct {
+	heap []mergeItem
+	err  error
+}
+
+func (m *mergeReader) init() {
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.down(i)
+	}
+}
+
+func (m *mergeReader) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.heap) && m.heap[l].rec.Before(m.heap[smallest].rec) {
+			smallest = l
+		}
+		if r < len(m.heap) && m.heap[r].rec.Before(m.heap[smallest].rec) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}
+
+// Read returns the next record in global order.
+func (m *mergeReader) Read() (Record, error) {
+	if m.err != nil {
+		err := m.err
+		m.err = nil
+		return Record{}, err
+	}
+	if len(m.heap) == 0 {
+		return Record{}, io.EOF
+	}
+	top := m.heap[0]
+	next, err := top.src.Read()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			m.err = err
+		}
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	} else {
+		m.heap[0].rec = next
+	}
+	m.down(0)
+	return top.rec, nil
+}
+
+// FilterFunc adapts a reader to drop records for which keep returns
+// false.
+func FilterFunc(r Reader, keep func(Record) bool) Reader {
+	return &filterReader{r: r, keep: keep}
+}
+
+type filterReader struct {
+	r    Reader
+	keep func(Record) bool
+}
+
+func (f *filterReader) Read() (Record, error) {
+	for {
+		rec, err := f.r.Read()
+		if err != nil {
+			return Record{}, err
+		}
+		if f.keep(rec) {
+			return rec, nil
+		}
+	}
+}

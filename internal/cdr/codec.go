@@ -1,0 +1,223 @@
+package cdr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"cellcars/internal/radio"
+)
+
+// CSV format: a header line followed by one record per line with the
+// columns car, cell, start_unix, duration_s. Cell is the packed
+// CellKey in decimal; times are Unix seconds UTC.
+var csvHeader = []string{"car", "cell", "start_unix", "duration_s"}
+
+// CSVWriter streams records as CSV.
+type CSVWriter struct {
+	w      *csv.Writer
+	header bool
+	closed bool
+}
+
+// NewCSVWriter returns a writer emitting the standard CDR CSV format
+// to w. The header is written with the first record.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: csv.NewWriter(w)}
+}
+
+// Write emits one record.
+func (c *CSVWriter) Write(r Record) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if !c.header {
+		if err := c.w.Write(csvHeader); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	row := []string{
+		strconv.FormatUint(uint64(r.Car), 10),
+		strconv.FormatUint(uint64(r.Cell), 10),
+		strconv.FormatInt(r.Start.Unix(), 10),
+		strconv.FormatInt(int64(r.Duration/time.Second), 10),
+	}
+	return c.w.Write(row)
+}
+
+// Close flushes buffered rows. The writer is unusable afterwards.
+func (c *CSVWriter) Close() error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// CSVReader streams records from the standard CDR CSV format.
+type CSVReader struct {
+	r      *csv.Reader
+	header bool
+}
+
+// NewCSVReader returns a reader over the standard CDR CSV format.
+func NewCSVReader(r io.Reader) *CSVReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
+	return &CSVReader{r: cr}
+}
+
+// Read returns the next record or io.EOF.
+func (c *CSVReader) Read() (Record, error) {
+	for {
+		row, err := c.r.Read()
+		if err != nil {
+			return Record{}, err
+		}
+		if !c.header {
+			c.header = true
+			if row[0] == csvHeader[0] {
+				continue
+			}
+		}
+		car, err := strconv.ParseUint(row[0], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("cdr: bad car id %q: %w", row[0], err)
+		}
+		cell, err := strconv.ParseUint(row[1], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("cdr: bad cell %q: %w", row[1], err)
+		}
+		start, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("cdr: bad start %q: %w", row[2], err)
+		}
+		dur, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("cdr: bad duration %q: %w", row[3], err)
+		}
+		rec := Record{
+			Car:      CarID(car),
+			Cell:     radio.CellKey(cell),
+			Start:    time.Unix(start, 0).UTC(),
+			Duration: time.Duration(dur) * time.Second,
+		}
+		if err := rec.Validate(); err != nil {
+			return Record{}, err
+		}
+		return rec, nil
+	}
+}
+
+// Binary format: a 8-byte magic, then records of fixed 28-byte layout
+// (car uint64, cell uint64, start int64 unix seconds, duration uint32
+// seconds), all little endian. The format is dense enough for
+// hundred-million-record data sets and trivially seekable.
+var binMagic = [8]byte{'C', 'C', 'A', 'R', 'C', 'D', 'R', '1'}
+
+const binRecordSize = 8 + 8 + 8 + 4
+
+// BinaryWriter streams records in the binary CDR format.
+type BinaryWriter struct {
+	w      *bufio.Writer
+	magic  bool
+	closed bool
+	buf    [binRecordSize]byte
+}
+
+// NewBinaryWriter returns a writer emitting the binary CDR format.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one record.
+func (b *BinaryWriter) Write(r Record) error {
+	if b.closed {
+		return ErrClosed
+	}
+	if !b.magic {
+		if _, err := b.w.Write(binMagic[:]); err != nil {
+			return err
+		}
+		b.magic = true
+	}
+	secs := int64(r.Duration / time.Second)
+	if secs < 0 || secs > int64(^uint32(0)) {
+		return fmt.Errorf("cdr: duration %v out of binary range", r.Duration)
+	}
+	binary.LittleEndian.PutUint64(b.buf[0:], uint64(r.Car))
+	binary.LittleEndian.PutUint64(b.buf[8:], uint64(r.Cell))
+	binary.LittleEndian.PutUint64(b.buf[16:], uint64(r.Start.Unix()))
+	binary.LittleEndian.PutUint32(b.buf[24:], uint32(secs))
+	_, err := b.w.Write(b.buf[:])
+	return err
+}
+
+// Close flushes buffered records. The writer is unusable afterwards.
+func (b *BinaryWriter) Close() error {
+	if b.closed {
+		return ErrClosed
+	}
+	b.closed = true
+	// An empty stream still carries the magic so readers can identify it.
+	if !b.magic {
+		if _, err := b.w.Write(binMagic[:]); err != nil {
+			return err
+		}
+		b.magic = true
+	}
+	return b.w.Flush()
+}
+
+// BinaryReader streams records from the binary CDR format.
+type BinaryReader struct {
+	r     *bufio.Reader
+	magic bool
+	buf   [binRecordSize]byte
+}
+
+// NewBinaryReader returns a reader over the binary CDR format.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record or io.EOF.
+func (b *BinaryReader) Read() (Record, error) {
+	if !b.magic {
+		var m [8]byte
+		if _, err := io.ReadFull(b.r, m[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, fmt.Errorf("cdr: truncated binary header")
+			}
+			return Record{}, err
+		}
+		if m != binMagic {
+			return Record{}, fmt.Errorf("cdr: bad binary magic %q", m)
+		}
+		b.magic = true
+	}
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, fmt.Errorf("cdr: truncated binary record")
+		}
+		return Record{}, err
+	}
+	rec := Record{
+		Car:      CarID(binary.LittleEndian.Uint64(b.buf[0:])),
+		Cell:     radio.CellKey(binary.LittleEndian.Uint64(b.buf[8:])),
+		Start:    time.Unix(int64(binary.LittleEndian.Uint64(b.buf[16:])), 0).UTC(),
+		Duration: time.Duration(binary.LittleEndian.Uint32(b.buf[24:])) * time.Second,
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,165 @@
+package cdr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ExternalSortConfig controls disk-backed sorting of CDR streams too
+// large for memory — the paper's data set is 1.1 billion records,
+// which at 28 bytes each is ~31 GB.
+type ExternalSortConfig struct {
+	// ChunkRecords is the number of records sorted in memory per spill
+	// chunk. Default 4 << 20 (~112 MB resident per chunk).
+	ChunkRecords int
+	// TempDir holds the spill files. Defaults to os.TempDir().
+	TempDir string
+}
+
+// ExternalSort reads every record from r, sorts the stream by
+// (start, car, cell), and writes it to w, spilling sorted chunks to
+// temporary files in the binary format and k-way merging them.
+// Temporary files are always cleaned up. Small inputs (one chunk)
+// never touch the disk.
+func ExternalSort(r Reader, w Writer, cfg ExternalSortConfig) (err error) {
+	if cfg.ChunkRecords <= 0 {
+		cfg.ChunkRecords = 4 << 20
+	}
+	if cfg.TempDir == "" {
+		cfg.TempDir = os.TempDir()
+	}
+
+	var spills []string
+	defer func() {
+		for _, path := range spills {
+			os.Remove(path)
+		}
+	}()
+
+	chunk := make([]Record, 0, min(cfg.ChunkRecords, 1<<16))
+	for {
+		rec, rerr := r.Read()
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return rerr
+		}
+		chunk = append(chunk, rec)
+		if len(chunk) >= cfg.ChunkRecords {
+			path, serr := spillChunk(chunk, cfg.TempDir, len(spills))
+			if serr != nil {
+				return serr
+			}
+			spills = append(spills, path)
+			chunk = chunk[:0]
+		}
+	}
+	Sort(chunk)
+
+	if len(spills) == 0 {
+		// Single in-memory chunk: write directly.
+		return WriteAll(w, chunk)
+	}
+
+	// Open every spill plus the resident tail chunk and merge.
+	readers := make([]Reader, 0, len(spills)+1)
+	files := make([]*os.File, 0, len(spills))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, path := range spills {
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return oerr
+		}
+		files = append(files, f)
+		readers = append(readers, NewBinaryReader(f))
+	}
+	if len(chunk) > 0 {
+		readers = append(readers, NewSliceReader(chunk))
+	}
+
+	merged := Merge(readers...)
+	for {
+		rec, merr := merged.Read()
+		if merr != nil {
+			if errors.Is(merr, io.EOF) {
+				return nil
+			}
+			return merr
+		}
+		if werr := w.Write(rec); werr != nil {
+			return werr
+		}
+	}
+}
+
+// spillChunk sorts and writes one chunk to a temporary binary file,
+// returning its path.
+func spillChunk(chunk []Record, dir string, index int) (string, error) {
+	Sort(chunk)
+	f, err := os.CreateTemp(dir, fmt.Sprintf("cdrsort-%04d-*.bin", index))
+	if err != nil {
+		return "", err
+	}
+	path := f.Name()
+	w := NewBinaryWriter(f)
+	if err := WriteAll(w, chunk); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return path, nil
+}
+
+// SortFile sorts a binary CDR file on disk into dst (which may equal
+// src only if the filesystem allows replacing an open file; prefer a
+// distinct destination).
+func SortFile(src, dst string, cfg ExternalSortConfig) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if cfg.TempDir == "" {
+		cfg.TempDir = filepath.Dir(dst)
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	w := NewBinaryWriter(out)
+	if err := ExternalSort(NewBinaryReader(in), w, cfg); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := w.Close(); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	return out.Close()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package cdr
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cellcars/internal/radio"
+)
+
+func randomRecords(n int, seed uint64) []Record {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Car:      CarID(rng.Uint64N(500)),
+			Cell:     radio.MakeCellKey(radio.BSID(rng.Uint32N(100)), radio.SectorID(rng.UintN(3)), radio.CarrierID(rng.UintN(5)+1)),
+			Start:    t0.Add(time.Duration(rng.Uint64N(90*24*3600)) * time.Second),
+			Duration: time.Duration(rng.Uint64N(600)) * time.Second,
+		}
+	}
+	return out
+}
+
+func TestExternalSortInMemoryPath(t *testing.T) {
+	in := randomRecords(1000, 1)
+	var out SliceWriter
+	if err := ExternalSort(NewSliceReader(in), &out, ExternalSortConfig{ChunkRecords: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != len(in) {
+		t.Fatalf("records = %d, want %d", len(out.Records), len(in))
+	}
+	if !Sorted(out.Records) {
+		t.Fatal("output not sorted")
+	}
+}
+
+func TestExternalSortSpillsAndMerges(t *testing.T) {
+	in := randomRecords(5000, 2)
+	tmp := t.TempDir()
+	var out SliceWriter
+	// Tiny chunks force many spills.
+	if err := ExternalSort(NewSliceReader(in), &out, ExternalSortConfig{ChunkRecords: 333, TempDir: tmp}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != len(in) {
+		t.Fatalf("records = %d, want %d", len(out.Records), len(in))
+	}
+	if !Sorted(out.Records) {
+		t.Fatal("output not sorted")
+	}
+	// Multiset equality: same records in, possibly different order.
+	seen := map[Record]int{}
+	for _, r := range in {
+		seen[r]++
+	}
+	for _, r := range out.Records {
+		seen[r]--
+	}
+	for r, c := range seen {
+		if c != 0 {
+			t.Fatalf("record %v count imbalance %d", r, c)
+		}
+	}
+	// Spill files cleaned up.
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d temp files left behind", len(entries))
+	}
+}
+
+func TestExternalSortExactChunkBoundary(t *testing.T) {
+	in := randomRecords(600, 3)
+	var out SliceWriter
+	if err := ExternalSort(NewSliceReader(in), &out, ExternalSortConfig{ChunkRecords: 300, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 600 || !Sorted(out.Records) {
+		t.Fatalf("boundary case: %d records, sorted=%v", len(out.Records), Sorted(out.Records))
+	}
+}
+
+func TestExternalSortEmpty(t *testing.T) {
+	var out SliceWriter
+	if err := ExternalSort(NewSliceReader(nil), &out, ExternalSortConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 0 {
+		t.Fatalf("records = %d", len(out.Records))
+	}
+}
+
+func TestSortFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.cdr")
+	dst := filepath.Join(dir, "out.cdr")
+
+	in := randomRecords(2000, 4)
+	f, err := os.Create(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewBinaryWriter(f)
+	if err := WriteAll(w, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := SortFile(src, dst, ExternalSortConfig{ChunkRecords: 500}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	records, err := ReadAll(NewBinaryReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(in) || !Sorted(records) {
+		t.Fatalf("sorted file: %d records, sorted=%v", len(records), Sorted(records))
+	}
+}
+
+func TestSortFileMissingSource(t *testing.T) {
+	if err := SortFile("/nonexistent/in.cdr", filepath.Join(t.TempDir(), "out.cdr"), ExternalSortConfig{}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}

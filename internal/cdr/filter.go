@@ -1,0 +1,62 @@
+package cdr
+
+import "time"
+
+// FilterTimeRange keeps records whose start falls in [from, to).
+func FilterTimeRange(r Reader, from, to time.Time) Reader {
+	return FilterFunc(r, func(rec Record) bool {
+		return !rec.Start.Before(from) && rec.Start.Before(to)
+	})
+}
+
+// FilterCars keeps records belonging to the given cars.
+func FilterCars(r Reader, cars map[CarID]struct{}) Reader {
+	return FilterFunc(r, func(rec Record) bool {
+		_, ok := cars[rec.Car]
+		return ok
+	})
+}
+
+// SampleCars keeps a deterministic pseudo-random fraction of the car
+// population: a car is in the sample iff a keyed hash of its id falls
+// below frac. This is the paper's own methodology — "a random sample
+// of 1 million cars" — as a stream operation: the same (key, frac)
+// always selects the same cars, every record of a selected car is
+// kept, and no car list needs to be materialized. frac outside [0, 1]
+// is clamped.
+func SampleCars(r Reader, frac float64, key uint64) Reader {
+	if frac <= 0 {
+		return FilterFunc(r, func(Record) bool { return false })
+	}
+	if frac >= 1 {
+		return r
+	}
+	threshold := uint64(frac * float64(1<<63) * 2)
+	return FilterFunc(r, func(rec Record) bool {
+		return carHash(uint64(rec.Car), key) < threshold
+	})
+}
+
+// InSample reports whether a car belongs to the (frac, key) sample —
+// the predicate SampleCars applies per record.
+func InSample(car CarID, frac float64, key uint64) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	threshold := uint64(frac * float64(1<<63) * 2)
+	return carHash(uint64(car), key) < threshold
+}
+
+// carHash is a SplitMix64-style keyed hash.
+func carHash(id, key uint64) uint64 {
+	x := id*0x9E3779B97F4A7C15 ^ key
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,125 @@
+package cdr
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFilterTimeRange(t *testing.T) {
+	in := []Record{
+		rec(1, 1, 0, time.Minute),
+		rec(2, 1, time.Hour, time.Minute),
+		rec(3, 1, 2*time.Hour, time.Minute),
+	}
+	out, err := ReadAll(FilterTimeRange(NewSliceReader(in), t0.Add(time.Hour), t0.Add(2*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Car != 2 {
+		t.Fatalf("filtered: %v", out)
+	}
+	// Boundaries: from inclusive, to exclusive.
+	out, err = ReadAll(FilterTimeRange(NewSliceReader(in), t0, t0.Add(time.Hour)))
+	if err != nil || len(out) != 1 || out[0].Car != 1 {
+		t.Fatalf("boundary: %v %v", out, err)
+	}
+}
+
+func TestFilterCars(t *testing.T) {
+	in := []Record{
+		rec(1, 1, 0, time.Minute),
+		rec(2, 1, time.Hour, time.Minute),
+		rec(1, 2, 2*time.Hour, time.Minute),
+	}
+	keep := map[CarID]struct{}{1: {}}
+	out, err := ReadAll(FilterCars(NewSliceReader(in), keep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("kept %d records", len(out))
+	}
+	for _, r := range out {
+		if r.Car != 1 {
+			t.Fatalf("wrong car %d", r.Car)
+		}
+	}
+}
+
+func TestSampleCarsFractionAndConsistency(t *testing.T) {
+	// 10000 cars, one record each.
+	var in []Record
+	for car := CarID(0); car < 10000; car++ {
+		in = append(in, rec(car, 1, time.Duration(car)*time.Second, time.Minute))
+	}
+	out, err := ReadAll(SampleCars(NewSliceReader(in), 0.25, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(out)) / float64(len(in))
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("sample fraction %.3f, want ~0.25", frac)
+	}
+	// Same key: same cars. Record-level predicate must agree.
+	for _, r := range out {
+		if !InSample(r.Car, 0.25, 7) {
+			t.Fatalf("car %d sampled but InSample says no", r.Car)
+		}
+	}
+	out2, err := ReadAll(SampleCars(NewSliceReader(in), 0.25, 7))
+	if err != nil || len(out2) != len(out) {
+		t.Fatalf("sampling not deterministic: %d vs %d", len(out2), len(out))
+	}
+	// Different key: different sample (overlap ~ frac²·N, not equal).
+	out3, _ := ReadAll(SampleCars(NewSliceReader(in), 0.25, 8))
+	same := 0
+	set := map[CarID]struct{}{}
+	for _, r := range out {
+		set[r.Car] = struct{}{}
+	}
+	for _, r := range out3 {
+		if _, ok := set[r.Car]; ok {
+			same++
+		}
+	}
+	if same == len(out) {
+		t.Fatal("different keys selected identical samples")
+	}
+}
+
+func TestSampleCarsKeepsWholeCars(t *testing.T) {
+	var in []Record
+	for car := CarID(0); car < 100; car++ {
+		for k := 0; k < 5; k++ {
+			in = append(in, rec(car, 1, time.Duration(int(car)*10+k)*time.Minute, time.Minute))
+		}
+	}
+	out, err := ReadAll(SampleCars(NewSliceReader(in), 0.5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[CarID]int{}
+	for _, r := range out {
+		counts[r.Car]++
+	}
+	for car, n := range counts {
+		if n != 5 {
+			t.Fatalf("car %d partially sampled: %d/5 records", car, n)
+		}
+	}
+}
+
+func TestSampleCarsEdges(t *testing.T) {
+	in := []Record{rec(1, 1, 0, time.Minute)}
+	out, err := ReadAll(SampleCars(NewSliceReader(in), 0, 1))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("frac 0: %v %v", out, err)
+	}
+	out, err = ReadAll(SampleCars(NewSliceReader(in), 1, 1))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("frac 1: %v %v", out, err)
+	}
+	if InSample(1, 0, 1) || !InSample(1, 1, 1) {
+		t.Fatal("InSample edges")
+	}
+}

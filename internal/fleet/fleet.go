@@ -1,0 +1,297 @@
+// Package fleet models the connected-car population: behavioural
+// archetypes (commuters, heavy users, weekend and rare drivers), each
+// car's home/work anchors in the world, its time zone, modem
+// capabilities, and fault propensities.
+//
+// The archetype mix is calibrated so the downstream analyses land in
+// the paper's reported bands: ~76% of cars on the network on an
+// average day with weekend dips (Fig 2, Table 1), ~2% of cars on 10 or
+// fewer days and ~10% on 30 or fewer (Fig 6, Table 2), and the strong
+// weekly 24×7 patterns of Figure 5.
+package fleet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"cellcars/internal/geo"
+)
+
+// Archetype is a car's behavioural class, controlling when and how
+// much it drives.
+type Archetype uint8
+
+// Behavioural archetypes. The three cars of Figure 5 correspond to
+// CommuterBusy (left: busy-hour weekday commute only), Heavy (middle:
+// commute plus evenings plus weekends) and CommuterEarly (right:
+// pre-peak commute with predictable weekend usage).
+const (
+	// CommuterBusy commutes Monday–Friday during network busy hours.
+	CommuterBusy Archetype = iota
+	// CommuterEarly commutes Monday–Friday before the commute peak.
+	CommuterEarly
+	// Heavy drives nearly every day: commute, evening and weekend trips.
+	Heavy
+	// Weekend drives mostly on weekends with occasional weekday errands.
+	Weekend
+	// Occasional drives a couple of times per week with no fixed pattern.
+	Occasional
+	// Infrequent appears a few times per month.
+	Infrequent
+	// Rare appears on ten or fewer days over the whole study.
+	Rare
+	// NightShift commutes overnight, against the network load curve.
+	NightShift
+)
+
+// NumArchetypes is the number of behavioural classes.
+const NumArchetypes = 8
+
+// String returns the archetype name.
+func (a Archetype) String() string {
+	switch a {
+	case CommuterBusy:
+		return "commuter-busy"
+	case CommuterEarly:
+		return "commuter-early"
+	case Heavy:
+		return "heavy"
+	case Weekend:
+		return "weekend"
+	case Occasional:
+		return "occasional"
+	case Infrequent:
+		return "infrequent"
+	case Rare:
+		return "rare"
+	case NightShift:
+		return "night-shift"
+	default:
+		return fmt.Sprintf("archetype(%d)", uint8(a))
+	}
+}
+
+// Car is one vehicle in the population.
+type Car struct {
+	// ID is the raw (pre-anonymization) identifier, a dense index.
+	ID uint64
+	// Archetype is the behavioural class.
+	Archetype Archetype
+	// Home is where trips start and end by default.
+	Home geo.Point
+	// Work is the commute destination (meaningful for commuter and
+	// heavy archetypes; others use it as a frequent errand target).
+	Work geo.Point
+	// TZOffsetSeconds is the car's local-time offset from UTC.
+	TZOffsetSeconds int
+	// Modem is the car's modem capability class, determining which
+	// carriers it can ever use (Table 3).
+	Modem Modem
+	// Sticky marks a modem that often fails to disconnect, producing
+	// the non-terminating connections the paper truncates at 600 s.
+	Sticky bool
+	// ActiveFromDay is the first study day the car is on the road.
+	// Zero for the existing fleet; later for cars sold during the
+	// study, which produce Figure 2's slow upward trend.
+	ActiveFromDay int
+}
+
+// Config parameterizes population generation.
+type Config struct {
+	// NumCars is the population size. Required.
+	NumCars int
+	// Mix is the archetype distribution; weights need not sum to 1.
+	// Defaults to DefaultMix.
+	Mix map[Archetype]float64
+	// ModemMix is the modem class distribution. Defaults to
+	// DefaultModemMix.
+	ModemMix map[Modem]float64
+	// StickyFrac is the fraction of cars with sticky modems.
+	// Default 0.02.
+	StickyFrac float64
+	// TZOffsetSeconds is the world's local-time offset from UTC.
+	// Default -5 h (US Eastern, standard time).
+	TZOffsetSeconds int
+	// HomeDensityWeights sets the share of homes in each density class.
+	// Defaults: urban 0.22, suburban 0.50, rural 0.28.
+	HomeDensityWeights map[geo.Density]float64
+	// GrowthFrac is the fraction of the fleet activated during (rather
+	// than before) the study, uniformly over GrowthDays. Produces the
+	// slow upward trend of Figure 2. Default 0.04.
+	GrowthFrac float64
+	// GrowthDays is the activation window length in days; cars in the
+	// growth fraction get a uniform ActiveFromDay in [0, GrowthDays).
+	// Zero disables growth regardless of GrowthFrac.
+	GrowthDays int
+}
+
+// DefaultMix is the archetype distribution calibrated against the
+// paper's population statistics (see package comment).
+func DefaultMix() map[Archetype]float64 {
+	return map[Archetype]float64{
+		CommuterBusy:  0.29,
+		CommuterEarly: 0.12,
+		Heavy:         0.25,
+		Weekend:       0.12,
+		Occasional:    0.11,
+		Infrequent:    0.078,
+		Rare:          0.022,
+		NightShift:    0.01,
+	}
+}
+
+// DefaultConfig returns the standard population parameters for the
+// given size.
+func DefaultConfig(numCars int) Config {
+	return Config{
+		NumCars:         numCars,
+		Mix:             DefaultMix(),
+		ModemMix:        DefaultModemMix(),
+		StickyFrac:      0.02,
+		GrowthFrac:      0.04,
+		TZOffsetSeconds: -5 * 3600,
+		HomeDensityWeights: map[geo.Density]float64{
+			geo.Urban:    0.22,
+			geo.Suburban: 0.50,
+			geo.Rural:    0.28,
+		},
+	}
+}
+
+// Generate samples a car population over the world. Generation is
+// deterministic for a fixed source. It panics when NumCars is not
+// positive or the world is nil.
+func Generate(cfg Config, world *geo.World, rng *rand.Rand) []Car {
+	if cfg.NumCars <= 0 {
+		panic(fmt.Sprintf("fleet: non-positive population %d", cfg.NumCars))
+	}
+	if world == nil {
+		panic("fleet: Generate requires a world")
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.ModemMix == nil {
+		cfg.ModemMix = DefaultModemMix()
+	}
+	if cfg.StickyFrac == 0 {
+		cfg.StickyFrac = 0.02
+	}
+	if cfg.TZOffsetSeconds == 0 {
+		cfg.TZOffsetSeconds = -5 * 3600
+	}
+	if cfg.HomeDensityWeights == nil {
+		cfg.HomeDensityWeights = DefaultConfig(1).HomeDensityWeights
+	}
+
+	sampler := newArchetypeSampler(cfg.Mix)
+	cars := make([]Car, cfg.NumCars)
+	for i := range cars {
+		a := sampler.sample(rng)
+		home := sampleHome(cfg.HomeDensityWeights, world, rng)
+		work := sampleWork(a, home, world, rng)
+		activeFrom := 0
+		if cfg.GrowthDays > 0 && rng.Float64() < cfg.GrowthFrac {
+			activeFrom = rng.IntN(cfg.GrowthDays)
+		}
+		cars[i] = Car{
+			ID:              uint64(i),
+			Archetype:       a,
+			Home:            home,
+			Work:            work,
+			TZOffsetSeconds: cfg.TZOffsetSeconds,
+			Modem:           sampleModem(cfg.ModemMix, rng),
+			Sticky:          rng.Float64() < cfg.StickyFrac,
+			ActiveFromDay:   activeFrom,
+		}
+	}
+	return cars
+}
+
+// archetypeSampler draws archetypes from a weighted distribution with
+// a deterministic cumulative table.
+type archetypeSampler struct {
+	arch []Archetype
+	cum  []float64
+}
+
+func newArchetypeSampler(mix map[Archetype]float64) *archetypeSampler {
+	s := &archetypeSampler{}
+	var total float64
+	for a := Archetype(0); a < NumArchetypes; a++ {
+		w := mix[a]
+		if w <= 0 {
+			continue
+		}
+		total += w
+		s.arch = append(s.arch, a)
+		s.cum = append(s.cum, total)
+	}
+	if total == 0 {
+		panic("fleet: archetype mix has no positive weights")
+	}
+	for i := range s.cum {
+		s.cum[i] /= total
+	}
+	return s
+}
+
+func (s *archetypeSampler) sample(rng *rand.Rand) Archetype {
+	u := rng.Float64()
+	for i, c := range s.cum {
+		if u <= c {
+			return s.arch[i]
+		}
+	}
+	return s.arch[len(s.arch)-1]
+}
+
+// sampleHome picks a home location: first a density class by weight,
+// then a uniform point within a region of that class.
+func sampleHome(weights map[geo.Density]float64, world *geo.World, rng *rand.Rand) geo.Point {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	var want geo.Density
+	for _, d := range []geo.Density{geo.Urban, geo.Suburban, geo.Rural} {
+		u -= weights[d]
+		if u <= 0 {
+			want = d
+			break
+		}
+	}
+	// Rejection-sample a point whose density matches; the fringe region
+	// covers the whole world, so rural always succeeds quickly.
+	for tries := 0; tries < 200; tries++ {
+		p := geo.Point{
+			X: world.Bounds.Min.X + rng.Float64()*world.Bounds.Width(),
+			Y: world.Bounds.Min.Y + rng.Float64()*world.Bounds.Height(),
+		}
+		if world.DensityAt(p) == want {
+			return p
+		}
+	}
+	return world.Bounds.Center()
+}
+
+// sampleWork picks a commute destination. Commuter and heavy cars
+// head toward the urban core (where the jobs are) from wherever they
+// live; others get a nearby anchor for errands.
+func sampleWork(a Archetype, home geo.Point, world *geo.World, rng *rand.Rand) geo.Point {
+	c := world.Bounds.Center()
+	switch a {
+	case CommuterBusy, CommuterEarly, Heavy, NightShift:
+		// A point in or near the urban core with some scatter.
+		scatter := world.Bounds.Width() * 0.08
+		return world.Bounds.Clamp(geo.Point{
+			X: c.X + (rng.Float64()*2-1)*scatter,
+			Y: c.Y + (rng.Float64()*2-1)*scatter,
+		})
+	default:
+		// A local errand anchor a few kilometres from home.
+		r := 2 + rng.Float64()*6
+		return world.Bounds.Clamp(home.Add((rng.Float64()*2-1)*r, (rng.Float64()*2-1)*r))
+	}
+}

@@ -1,0 +1,317 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"cellcars/internal/geo"
+)
+
+func testPopulation(t *testing.T, n int) ([]Car, *geo.World) {
+	t.Helper()
+	world := geo.DefaultWorld(40)
+	rng := rand.New(rand.NewPCG(10, 20))
+	return Generate(DefaultConfig(n), world, rng), world
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cars, world := testPopulation(t, 5000)
+	if len(cars) != 5000 {
+		t.Fatalf("cars = %d", len(cars))
+	}
+	for i, c := range cars {
+		if c.ID != uint64(i) {
+			t.Fatalf("car %d has id %d", i, c.ID)
+		}
+		if !world.Bounds.Contains(c.Home) && world.Bounds.Clamp(c.Home) != c.Home {
+			t.Fatalf("car %d home outside world", i)
+		}
+		if !world.Bounds.Contains(c.Work) && world.Bounds.Clamp(c.Work) != c.Work {
+			t.Fatalf("car %d work outside world", i)
+		}
+		if c.TZOffsetSeconds != -5*3600 {
+			t.Fatalf("car %d tz = %d", i, c.TZOffsetSeconds)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	world := geo.DefaultWorld(40)
+	a := Generate(DefaultConfig(100), world, rand.New(rand.NewPCG(1, 1)))
+	b := Generate(DefaultConfig(100), world, rand.New(rand.NewPCG(1, 1)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("car %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateArchetypeMix(t *testing.T) {
+	cars, _ := testPopulation(t, 20000)
+	counts := map[Archetype]int{}
+	for _, c := range cars {
+		counts[c.Archetype]++
+	}
+	mix := DefaultMix()
+	for a, want := range mix {
+		got := float64(counts[a]) / float64(len(cars))
+		if math.Abs(got-want) > 0.02+want*0.25 {
+			t.Errorf("archetype %v: frequency %.4f, want ~%.4f", a, got, want)
+		}
+	}
+}
+
+func TestGenerateFaultFractions(t *testing.T) {
+	cars, _ := testPopulation(t, 50000)
+	sticky, c5 := 0, 0
+	for _, c := range cars {
+		if c.Sticky {
+			sticky++
+		}
+		if c.Modem == ModemNextGen {
+			c5++
+		}
+	}
+	stickyFrac := float64(sticky) / float64(len(cars))
+	if stickyFrac < 0.01 || stickyFrac > 0.035 {
+		t.Fatalf("sticky fraction %.4f, want ~0.02", stickyFrac)
+	}
+	// C5 capability is ~0.006%: with 50k cars expect 0–4.
+	if c5 > 25 {
+		t.Fatalf("C5-capable cars = %d, should be near zero", c5)
+	}
+}
+
+func TestGenerateModemMix(t *testing.T) {
+	cars, _ := testPopulation(t, 50000)
+	counts := map[Modem]int{}
+	for _, c := range cars {
+		counts[c.Modem]++
+	}
+	n := float64(len(cars))
+	everC4 := float64(counts[ModemFullNo3G]+counts[ModemFull]+counts[ModemNextGen]) / n
+	if everC4 < 0.77 || everC4 > 0.85 {
+		t.Fatalf("C4-capable fraction %.3f, want ~0.808", everC4)
+	}
+	ever3G := float64(counts[Modem3GOnly]+counts[ModemNoC4]+counts[ModemFull]+counts[ModemNextGen]) / n
+	if ever3G < 0.86 || ever3G > 0.92 {
+		t.Fatalf("3G-capable fraction %.3f, want ~0.892", ever3G)
+	}
+	lte := float64(len(cars)-counts[Modem3GOnly]) / n
+	if lte < 0.97 || lte > 0.995 {
+		t.Fatalf("LTE-capable fraction %.3f, want ~0.987", lte)
+	}
+}
+
+func TestGenerateHomeDensityMix(t *testing.T) {
+	cars, world := testPopulation(t, 20000)
+	counts := map[geo.Density]int{}
+	for _, c := range cars {
+		counts[world.DensityAt(c.Home)]++
+	}
+	urbanFrac := float64(counts[geo.Urban]) / float64(len(cars))
+	if urbanFrac < 0.15 || urbanFrac > 0.30 {
+		t.Fatalf("urban home fraction %.3f, want ~0.22", urbanFrac)
+	}
+	if counts[geo.Suburban] == 0 || counts[geo.Rural] == 0 {
+		t.Fatalf("density classes missing: %v", counts)
+	}
+}
+
+func TestCommutersHeadDowntown(t *testing.T) {
+	cars, world := testPopulation(t, 5000)
+	c := world.Bounds.Center()
+	var commuterDist, otherDist float64
+	var nc, no int
+	for _, car := range cars {
+		d := car.Work.Dist(c)
+		switch car.Archetype {
+		case CommuterBusy, CommuterEarly, Heavy, NightShift:
+			commuterDist += d
+			nc++
+		default:
+			otherDist += d
+			no++
+		}
+	}
+	if nc == 0 || no == 0 {
+		t.Skip("degenerate mix")
+	}
+	if commuterDist/float64(nc) >= otherDist/float64(no) {
+		t.Fatalf("commuter work (%.2f km from core) not closer than others (%.2f km)",
+			commuterDist/float64(nc), otherDist/float64(no))
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	world := geo.DefaultWorld(30)
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := map[string]func(){
+		"zero cars": func() { Generate(DefaultConfig(0), world, rng) },
+		"nil world": func() { Generate(DefaultConfig(10), nil, rng) },
+		"empty mix": func() {
+			cfg := DefaultConfig(10)
+			cfg.Mix = map[Archetype]float64{}
+			Generate(cfg, world, rng)
+		},
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlansCoverage(t *testing.T) {
+	for a := Archetype(0); a < NumArchetypes; a++ {
+		plans := a.Plans()
+		if len(plans) == 0 {
+			t.Fatalf("archetype %v has no plans", a)
+		}
+		anyDay := false
+		for _, p := range plans {
+			if p.Prob <= 0 || p.Prob > 1 {
+				t.Fatalf("%v plan has probability %v", a, p.Prob)
+			}
+			if p.DurMin <= 0 {
+				t.Fatalf("%v plan has non-positive duration", a)
+			}
+			if p.StartHour < 0 || p.StartHour >= 24 {
+				t.Fatalf("%v plan starts at hour %v", a, p.StartHour)
+			}
+			for _, d := range p.Days {
+				if d {
+					anyDay = true
+				}
+			}
+		}
+		if !anyDay {
+			t.Fatalf("archetype %v has no active days", a)
+		}
+	}
+	if Archetype(99).Plans() != nil {
+		t.Fatal("unknown archetype should have nil plans")
+	}
+}
+
+// TestPresenceProbabilityBands verifies the calibration arithmetic that
+// underlies Figure 2 / Table 1: the expected fraction of cars making at
+// least one trip on a weekday should be near 76-80%, and lower on
+// weekends.
+func TestPresenceProbabilityBands(t *testing.T) {
+	mix := DefaultMix()
+	presence := func(day int) float64 {
+		var total, weight float64
+		for a, w := range mix {
+			pNone := 1.0
+			for _, p := range a.Plans() {
+				if p.Days[day] {
+					pNone *= 1 - p.Prob
+				}
+			}
+			total += w * (1 - pNone)
+			weight += w
+		}
+		return total / weight
+	}
+	wed := presence(2)
+	sat := presence(5)
+	sun := presence(6)
+	if wed < 0.70 || wed > 0.88 {
+		t.Fatalf("weekday presence %.3f outside [0.70, 0.88]", wed)
+	}
+	if sat >= wed {
+		t.Fatalf("saturday presence %.3f not below weekday %.3f", sat, wed)
+	}
+	if sun >= sat {
+		t.Fatalf("sunday presence %.3f not below saturday %.3f", sun, sat)
+	}
+	if sun < 0.5 {
+		t.Fatalf("sunday presence %.3f too low", sun)
+	}
+}
+
+// TestRareDaysExpectation checks the expected days-on-network per
+// archetype against the Figure 6 / Table 2 segmentation bands.
+func TestRareDaysExpectation(t *testing.T) {
+	days := func(a Archetype) float64 {
+		var sum float64
+		for day := 0; day < 7; day++ {
+			pNone := 1.0
+			for _, p := range a.Plans() {
+				if p.Days[day] {
+					pNone *= 1 - p.Prob
+				}
+			}
+			sum += 1 - pNone
+		}
+		return sum / 7 * 90
+	}
+	if d := days(Rare); d > 10 {
+		t.Fatalf("rare archetype expects %.1f days, must be <= 10", d)
+	}
+	if d := days(Infrequent); d < 11 || d > 30 {
+		t.Fatalf("infrequent archetype expects %.1f days, want (10, 30]", d)
+	}
+	if d := days(CommuterBusy); d < 55 {
+		t.Fatalf("commuter archetype expects %.1f days, want >= 55", d)
+	}
+	if d := days(Heavy); d < 75 {
+		t.Fatalf("heavy archetype expects %.1f days, want >= 75", d)
+	}
+}
+
+func TestArchetypeAndKindStrings(t *testing.T) {
+	if CommuterBusy.String() != "commuter-busy" || Rare.String() != "rare" {
+		t.Fatal("archetype names")
+	}
+	if Archetype(77).String() != "archetype(77)" {
+		t.Fatal("unknown archetype name")
+	}
+	if KindCommuteOut.String() != "commute-out" || KindLong.String() != "long-drive" {
+		t.Fatal("kind names")
+	}
+	if TripKind(9).String() != "trip(9)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestGenerateGrowthFraction(t *testing.T) {
+	world := geo.DefaultWorld(40)
+	cfg := DefaultConfig(20000)
+	cfg.GrowthDays = 90
+	cars := Generate(cfg, world, rand.New(rand.NewPCG(8, 8)))
+	late := 0
+	maxFrom := 0
+	for _, c := range cars {
+		if c.ActiveFromDay > 0 {
+			late++
+			if c.ActiveFromDay > maxFrom {
+				maxFrom = c.ActiveFromDay
+			}
+		}
+	}
+	frac := float64(late) / float64(len(cars))
+	if frac < 0.02 || frac > 0.06 {
+		t.Fatalf("growth fraction %.4f, want ~0.04", frac)
+	}
+	if maxFrom >= 90 {
+		t.Fatalf("activation day %d outside window", maxFrom)
+	}
+}
+
+func TestGenerateGrowthDisabledByDefault(t *testing.T) {
+	world := geo.DefaultWorld(40)
+	cars := Generate(DefaultConfig(1000), world, rand.New(rand.NewPCG(9, 9)))
+	for _, c := range cars {
+		if c.ActiveFromDay != 0 {
+			t.Fatalf("car %d active from day %d with GrowthDays=0", c.ID, c.ActiveFromDay)
+		}
+	}
+}

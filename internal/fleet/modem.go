@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"cellcars/internal/radio"
+)
+
+// Modem is a car's cellular modem capability class. A single OEM ships
+// several modem generations over the years; the class determines which
+// carriers the car can ever use, which drives Table 3's "% cars" row
+// (C1 98.7%, C2 89.2%, C3 98.7%, C4 80.8%, C5 0.006%).
+type Modem uint8
+
+// Modem classes, from oldest to newest hardware.
+const (
+	// Modem3GOnly is legacy hardware that can only use the 3G carrier
+	// C2 — the "legacy support" population of §4.6.
+	Modem3GOnly Modem = iota
+	// ModemNoC4No3G supports only the original LTE layers C1 and C3.
+	ModemNoC4No3G
+	// ModemNoC4 supports C1, C3 and the 3G fallback C2.
+	ModemNoC4
+	// ModemFullNo3G supports all LTE layers C1, C3, C4 but has 3G
+	// fallback disabled.
+	ModemFullNo3G
+	// ModemFull supports C1–C4 plus 3G fallback.
+	ModemFull
+	// ModemNextGen additionally supports the new C5 carrier; almost no
+	// car in the study population carries one.
+	ModemNextGen
+)
+
+// NumModems is the number of modem classes.
+const NumModems = 6
+
+// String returns the modem class name.
+func (m Modem) String() string {
+	switch m {
+	case Modem3GOnly:
+		return "3g-only"
+	case ModemNoC4No3G:
+		return "lte-basic"
+	case ModemNoC4:
+		return "lte-basic-3g"
+	case ModemFullNo3G:
+		return "lte-full"
+	case ModemFull:
+		return "lte-full-3g"
+	case ModemNextGen:
+		return "next-gen"
+	default:
+		return fmt.Sprintf("modem(%d)", uint8(m))
+	}
+}
+
+// Capabilities returns the carriers the modem can use.
+func (m Modem) Capabilities() []radio.CarrierID {
+	switch m {
+	case Modem3GOnly:
+		return []radio.CarrierID{radio.C2}
+	case ModemNoC4No3G:
+		return []radio.CarrierID{radio.C1, radio.C3}
+	case ModemNoC4:
+		return []radio.CarrierID{radio.C1, radio.C2, radio.C3}
+	case ModemFullNo3G:
+		return []radio.CarrierID{radio.C1, radio.C3, radio.C4}
+	case ModemFull:
+		return []radio.CarrierID{radio.C1, radio.C2, radio.C3, radio.C4}
+	case ModemNextGen:
+		return []radio.CarrierID{radio.C1, radio.C2, radio.C3, radio.C4, radio.C5}
+	default:
+		return nil
+	}
+}
+
+// Supports reports whether the modem can use the carrier.
+func (m Modem) Supports(c radio.CarrierID) bool {
+	for _, have := range m.Capabilities() {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultModemMix is the modem class distribution solved from the
+// paper's Table 3 "% cars ever on carrier" row:
+//
+//	ever C1 = ever C3 = 98.7%  → 1.3% are 3G-only
+//	ever C2 = 89.2%            → 9.0% + 1.8% have 3G disabled
+//	ever C4 = 80.8%            → 16.1% + 1.8% lack C4
+//	ever C5 = 0.006%           → a sliver of next-gen units
+func DefaultModemMix() map[Modem]float64 {
+	return map[Modem]float64{
+		Modem3GOnly:   0.013,
+		ModemNoC4No3G: 0.018,
+		ModemNoC4:     0.161,
+		ModemFullNo3G: 0.090,
+		ModemFull:     0.71794,
+		ModemNextGen:  0.00006,
+	}
+}
+
+// sampleModem draws a modem class from the mix.
+func sampleModem(mix map[Modem]float64, rng *rand.Rand) Modem {
+	var total float64
+	for m := Modem(0); m < NumModems; m++ {
+		total += mix[m]
+	}
+	u := rng.Float64() * total
+	for m := Modem(0); m < NumModems; m++ {
+		u -= mix[m]
+		if u <= 0 && mix[m] > 0 {
+			return m
+		}
+	}
+	return ModemFull
+}

@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cellcars/internal/radio"
+)
+
+func TestModemCapabilities(t *testing.T) {
+	cases := []struct {
+		m    Modem
+		want []radio.CarrierID
+	}{
+		{Modem3GOnly, []radio.CarrierID{radio.C2}},
+		{ModemNoC4No3G, []radio.CarrierID{radio.C1, radio.C3}},
+		{ModemNoC4, []radio.CarrierID{radio.C1, radio.C2, radio.C3}},
+		{ModemFullNo3G, []radio.CarrierID{radio.C1, radio.C3, radio.C4}},
+		{ModemFull, []radio.CarrierID{radio.C1, radio.C2, radio.C3, radio.C4}},
+		{ModemNextGen, []radio.CarrierID{radio.C1, radio.C2, radio.C3, radio.C4, radio.C5}},
+	}
+	for _, c := range cases {
+		got := c.m.Capabilities()
+		if len(got) != len(c.want) {
+			t.Fatalf("%v capabilities = %v, want %v", c.m, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%v capabilities = %v, want %v", c.m, got, c.want)
+			}
+		}
+	}
+	if Modem(99).Capabilities() != nil {
+		t.Fatal("unknown modem should have nil capabilities")
+	}
+}
+
+func TestModemSupports(t *testing.T) {
+	if !ModemFull.Supports(radio.C4) || ModemFull.Supports(radio.C5) {
+		t.Fatal("ModemFull support set wrong")
+	}
+	if Modem3GOnly.Supports(radio.C1) || !Modem3GOnly.Supports(radio.C2) {
+		t.Fatal("Modem3GOnly support set wrong")
+	}
+	if !ModemNextGen.Supports(radio.C5) {
+		t.Fatal("ModemNextGen must support C5")
+	}
+}
+
+func TestModemString(t *testing.T) {
+	if Modem3GOnly.String() != "3g-only" || ModemNextGen.String() != "next-gen" {
+		t.Fatal("modem names")
+	}
+	if Modem(42).String() != "modem(42)" {
+		t.Fatal("unknown modem name")
+	}
+}
+
+func TestDefaultModemMixSumsToOne(t *testing.T) {
+	var total float64
+	for _, w := range DefaultModemMix() {
+		total += w
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("modem mix sums to %v", total)
+	}
+}
+
+func TestSampleModemRespectsZeroWeights(t *testing.T) {
+	mix := map[Modem]float64{ModemFull: 1}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		if got := sampleModem(mix, rng); got != ModemFull {
+			t.Fatalf("sampled %v from a single-class mix", got)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import "fmt"
+
+// TripKind classifies a planned trip.
+type TripKind uint8
+
+// Trip kinds.
+const (
+	// KindCommuteOut is the morning (or shift-start) leg to work.
+	KindCommuteOut TripKind = iota
+	// KindCommuteReturn is the leg back home.
+	KindCommuteReturn
+	// KindErrand is a local round trip from home.
+	KindErrand
+	// KindLong is a longer leisure drive, typically on weekends.
+	KindLong
+)
+
+// String returns the trip-kind name.
+func (k TripKind) String() string {
+	switch k {
+	case KindCommuteOut:
+		return "commute-out"
+	case KindCommuteReturn:
+		return "commute-return"
+	case KindErrand:
+		return "errand"
+	case KindLong:
+		return "long-drive"
+	default:
+		return fmt.Sprintf("trip(%d)", uint8(k))
+	}
+}
+
+// Dest selects a trip's destination relative to the car's anchors.
+type Dest uint8
+
+// Destinations.
+const (
+	// DestWork routes from the car's current anchor to its work point.
+	DestWork Dest = iota
+	// DestHome routes back to the home point.
+	DestHome
+	// DestLocal routes to a random point near home.
+	DestLocal
+	// DestFar routes to a random point far from home.
+	DestFar
+)
+
+// TripPlan is one recurring trip template in an archetype's weekly
+// routine. Mobility samples concrete trips from these: on each day
+// whose weekday matches Days, the trip occurs with probability Prob,
+// starting at a normally distributed local hour and driving for a
+// normally distributed number of minutes.
+type TripPlan struct {
+	Kind      TripKind
+	Dest      Dest
+	Days      [7]bool // Monday=0 … Sunday=6
+	Prob      float64
+	StartHour float64 // local time, mean
+	StartStd  float64 // hours
+	DurMin    float64 // driving minutes, mean
+	DurStd    float64 // minutes
+}
+
+var (
+	weekdays = [7]bool{true, true, true, true, true, false, false}
+	weekend  = [7]bool{false, false, false, false, false, true, true}
+	saturday = [7]bool{false, false, false, false, false, true, false}
+	sunday   = [7]bool{false, false, false, false, false, false, true}
+	everyday = [7]bool{true, true, true, true, true, true, true}
+)
+
+// Plans returns the archetype's weekly trip templates. The returned
+// slice is freshly allocated.
+//
+// The templates are calibrated so that, at the DefaultMix, the
+// population reproduces the paper's macro statistics: ~76% of cars on
+// the network per day with Sat/Sun dips, ~1 hour of (truncated)
+// driving-connected time per day on average, rare cars on ≤10 days and
+// ~10% of cars on ≤30 days.
+func (a Archetype) Plans() []TripPlan {
+	switch a {
+	case CommuterBusy:
+		return []TripPlan{
+			{Kind: KindCommuteOut, Dest: DestWork, Days: weekdays, Prob: 0.95, StartHour: 7.7, StartStd: 0.4, DurMin: 28, DurStd: 8},
+			{Kind: KindCommuteReturn, Dest: DestHome, Days: weekdays, Prob: 0.95, StartHour: 17.4, StartStd: 0.6, DurMin: 30, DurStd: 9},
+			{Kind: KindErrand, Dest: DestLocal, Days: weekdays, Prob: 0.25, StartHour: 19.5, StartStd: 1.2, DurMin: 18, DurStd: 7},
+			{Kind: KindErrand, Dest: DestLocal, Days: weekend, Prob: 0.55, StartHour: 12.5, StartStd: 2.5, DurMin: 24, DurStd: 10},
+		}
+	case CommuterEarly:
+		return []TripPlan{
+			{Kind: KindCommuteOut, Dest: DestWork, Days: weekdays, Prob: 0.95, StartHour: 5.6, StartStd: 0.3, DurMin: 30, DurStd: 8},
+			{Kind: KindCommuteReturn, Dest: DestHome, Days: weekdays, Prob: 0.95, StartHour: 14.4, StartStd: 0.5, DurMin: 30, DurStd: 8},
+			{Kind: KindErrand, Dest: DestLocal, Days: saturday, Prob: 0.75, StartHour: 13.0, StartStd: 1.8, DurMin: 26, DurStd: 10},
+			{Kind: KindErrand, Dest: DestLocal, Days: sunday, Prob: 0.65, StartHour: 9.3, StartStd: 1.0, DurMin: 22, DurStd: 8},
+		}
+	case Heavy:
+		return []TripPlan{
+			{Kind: KindCommuteOut, Dest: DestWork, Days: weekdays, Prob: 0.96, StartHour: 8.0, StartStd: 0.5, DurMin: 30, DurStd: 9},
+			{Kind: KindCommuteReturn, Dest: DestHome, Days: weekdays, Prob: 0.96, StartHour: 17.6, StartStd: 0.7, DurMin: 32, DurStd: 10},
+			{Kind: KindErrand, Dest: DestLocal, Days: weekdays, Prob: 0.55, StartHour: 20.0, StartStd: 1.1, DurMin: 22, DurStd: 8},
+			{Kind: KindLong, Dest: DestFar, Days: weekend, Prob: 0.85, StartHour: 13.0, StartStd: 2.5, DurMin: 40, DurStd: 15},
+			{Kind: KindErrand, Dest: DestLocal, Days: weekend, Prob: 0.40, StartHour: 19.0, StartStd: 1.5, DurMin: 22, DurStd: 8},
+		}
+	case Weekend:
+		return []TripPlan{
+			{Kind: KindLong, Dest: DestFar, Days: saturday, Prob: 0.90, StartHour: 11.0, StartStd: 2.0, DurMin: 45, DurStd: 18},
+			{Kind: KindLong, Dest: DestFar, Days: sunday, Prob: 0.80, StartHour: 12.0, StartStd: 2.5, DurMin: 40, DurStd: 15},
+			{Kind: KindErrand, Dest: DestLocal, Days: weekdays, Prob: 0.30, StartHour: 15.0, StartStd: 3.0, DurMin: 20, DurStd: 8},
+		}
+	case Occasional:
+		return []TripPlan{
+			{Kind: KindErrand, Dest: DestLocal, Days: everyday, Prob: 0.50, StartHour: 14.0, StartStd: 4.0, DurMin: 25, DurStd: 10},
+		}
+	case Infrequent:
+		return []TripPlan{
+			{Kind: KindErrand, Dest: DestLocal, Days: everyday, Prob: 0.22, StartHour: 13.0, StartStd: 4.0, DurMin: 25, DurStd: 10},
+		}
+	case Rare:
+		return []TripPlan{
+			{Kind: KindErrand, Dest: DestLocal, Days: everyday, Prob: 0.055, StartHour: 13.0, StartStd: 4.0, DurMin: 30, DurStd: 12},
+		}
+	case NightShift:
+		return []TripPlan{
+			{Kind: KindCommuteOut, Dest: DestWork, Days: weekdays, Prob: 0.92, StartHour: 21.5, StartStd: 0.5, DurMin: 28, DurStd: 8},
+			{Kind: KindCommuteReturn, Dest: DestHome, Days: weekdays, Prob: 0.92, StartHour: 6.2, StartStd: 0.5, DurMin: 28, DurStd: 8},
+		}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,323 @@
+// Package fota builds and evaluates firmware-over-the-air update
+// campaigns on top of the measurement pipeline — the management
+// application the paper motivates (§1, §4.3) but does not build.
+//
+// A campaign must deliver an update of a given size to every car
+// within a window. The planner replays a CDR stream: whenever a car is
+// connected and the active policy approves, the download progresses at
+// a rate set by the serving cell's free PRB capacity. Policies differ
+// in when they push:
+//
+//   - Naive: push whenever the car is connected.
+//   - Randomized: push with a fixed probability per connection,
+//     spreading load over the campaign window.
+//   - SegmentAware: the paper's proposal — rare cars download whenever
+//     they appear (their windows are scarce); common cars only when
+//     the serving cell is below the busy threshold.
+//
+// The simulation reports completion over time and the load pushed into
+// already-busy cells — the "pouring oil onto the fire" the paper warns
+// about.
+package fota
+
+import (
+	"fmt"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+// Segment summarizes what the planner knows about a car from the
+// measurement pipeline.
+type Segment struct {
+	// Rare marks cars on the network on few days (paper: ≤ 10 of 90).
+	Rare bool
+	// BusyHour marks cars whose connected time concentrates in busy
+	// cells (≥ 65%).
+	BusyHour bool
+}
+
+// Policy decides whether to push bytes to a car during a connection
+// slice.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allow reports whether the download may proceed for the car in
+	// the given cell-bin with utilization u.
+	Allow(car cdr.CarID, seg Segment, cell radio.CellKey, bin int, u float64) bool
+}
+
+// NaivePolicy pushes whenever a car is connected.
+type NaivePolicy struct{}
+
+// Name implements Policy.
+func (NaivePolicy) Name() string { return "naive" }
+
+// Allow implements Policy: always true.
+func (NaivePolicy) Allow(cdr.CarID, Segment, radio.CellKey, int, float64) bool { return true }
+
+// RandomizedPolicy pushes with a fixed probability per connection
+// slice, deterministically derived from (car, bin) so replays agree.
+type RandomizedPolicy struct {
+	// P is the per-slice push probability in (0, 1].
+	P float64
+	// Seed decorrelates campaigns.
+	Seed uint64
+}
+
+// Name implements Policy.
+func (p RandomizedPolicy) Name() string { return fmt.Sprintf("randomized(%.2f)", p.P) }
+
+// Allow implements Policy.
+func (p RandomizedPolicy) Allow(car cdr.CarID, _ Segment, _ radio.CellKey, bin int, _ float64) bool {
+	h := uint64(car)*0x9E3779B97F4A7C15 ^ uint64(bin)*0xBF58476D1CE4E5B9 ^ p.Seed
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return float64(h%1_000_000)/1_000_000 < p.P
+}
+
+// SegmentAwarePolicy implements the paper's §4.3 proposal: rare cars
+// are prioritized unconditionally (their appearance windows are
+// scarce); all other cars download only when the serving cell is below
+// the busy threshold.
+type SegmentAwarePolicy struct {
+	// BusyThreshold is the UPRB level above which pushes are deferred
+	// for common cars. Typically load.Source.BusyThreshold().
+	BusyThreshold float64
+}
+
+// Name implements Policy.
+func (SegmentAwarePolicy) Name() string { return "segment-aware" }
+
+// Allow implements Policy.
+func (s SegmentAwarePolicy) Allow(_ cdr.CarID, seg Segment, _ radio.CellKey, _ int, u float64) bool {
+	if seg.Rare {
+		return true
+	}
+	return u <= s.BusyThreshold
+}
+
+// Config parameterizes a campaign simulation.
+type Config struct {
+	// UpdateMB is the payload size per car in megabytes. FOTA images
+	// range from megabytes to gigabytes; default 200.
+	UpdateMB float64
+	// MbpsPerFreePRBPercent converts free cell capacity into download
+	// rate: a cell at 0% utilization offers roughly its full
+	// per-carrier throughput. Default 0.8 Mbps per free percentage
+	// point (≈ 80 Mbps on an empty 20 MHz carrier).
+	MbpsPerFreePRBPercent float64
+	// MaxUEMbps caps a single car's rate. Default 40.
+	MaxUEMbps float64
+	// Policy is the push policy. Default NaivePolicy.
+	Policy Policy
+}
+
+// DefaultConfig returns standard campaign parameters with the given
+// policy.
+func DefaultConfig(p Policy) Config {
+	return Config{UpdateMB: 200, MbpsPerFreePRBPercent: 0.8, MaxUEMbps: 40, Policy: p}
+}
+
+// Result summarizes a simulated campaign.
+type Result struct {
+	// Policy is the evaluated policy's name.
+	Policy string
+	// Cars is the number of cars in the campaign.
+	Cars int
+	// Completed is the number that finished the download in the window.
+	Completed int
+	// CompletionDay[d] is the cumulative fraction completed by the end
+	// of study day d.
+	CompletionDay []float64
+	// DeliveredMB is the total payload delivered.
+	DeliveredMB float64
+	// BusyMB is the payload delivered while the serving cell was busy —
+	// the network-impact figure the policies trade off.
+	BusyMB float64
+	// MeanDaysToComplete averages completion time over completed cars.
+	MeanDaysToComplete float64
+}
+
+// BusyShare returns the fraction of delivered bytes pushed into busy
+// cells.
+func (r Result) BusyShare() float64 {
+	if r.DeliveredMB == 0 {
+		return 0
+	}
+	return r.BusyMB / r.DeliveredMB
+}
+
+// Simulate replays a record stream (ghost-free, any order that is
+// per-car chronological) and runs the campaign under cfg. Segments
+// may be nil, in which case every car is treated as common/non-busy.
+// It panics without a load source.
+func Simulate(records []cdr.Record, ctx analysis.Context, segments map[cdr.CarID]Segment, cfg Config) Result {
+	if ctx.Load == nil {
+		panic("fota: Simulate requires a load source")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NaivePolicy{}
+	}
+	if cfg.UpdateMB <= 0 {
+		cfg.UpdateMB = 200
+	}
+	if cfg.MbpsPerFreePRBPercent <= 0 {
+		cfg.MbpsPerFreePRBPercent = 0.8
+	}
+	if cfg.MaxUEMbps <= 0 {
+		cfg.MaxUEMbps = 40
+	}
+
+	remaining := make(map[cdr.CarID]float64)
+	doneDay := make(map[cdr.CarID]int)
+	thresh := ctx.Load.BusyThreshold()
+	res := Result{Policy: cfg.Policy.Name()}
+
+	for _, r := range records {
+		rem, seen := remaining[r.Car]
+		if !seen {
+			rem = cfg.UpdateMB
+			remaining[r.Car] = rem
+		}
+		if rem <= 0 {
+			continue
+		}
+		seg := segments[r.Car]
+		first, last := ctx.Period.BinRange(r.Start, r.Duration)
+		for bin := first; bin < last && rem > 0; bin++ {
+			overlap := ctx.Period.OverlapWithBin(bin, r.Start, r.Duration)
+			if overlap <= 0 {
+				continue
+			}
+			u := ctx.Load.Utilization(r.Cell, bin)
+			if !cfg.Policy.Allow(r.Car, seg, r.Cell, bin, u) {
+				continue
+			}
+			rate := (1 - u) * 100 * cfg.MbpsPerFreePRBPercent
+			if rate > cfg.MaxUEMbps {
+				rate = cfg.MaxUEMbps
+			}
+			mb := rate * overlap.Seconds() / 8
+			if mb > rem {
+				mb = rem
+			}
+			rem -= mb
+			res.DeliveredMB += mb
+			if u > thresh {
+				res.BusyMB += mb
+			}
+			if rem <= 0 {
+				doneDay[r.Car] = bin / simtime.BinsPerDay
+			}
+		}
+		remaining[r.Car] = rem
+	}
+
+	res.Cars = len(remaining)
+	res.CompletionDay = make([]float64, ctx.Period.Days())
+	var sumDays float64
+	for _, day := range doneDay {
+		res.Completed++
+		sumDays += float64(day + 1)
+		for d := day; d < len(res.CompletionDay); d++ {
+			res.CompletionDay[d]++
+		}
+	}
+	if res.Cars > 0 {
+		for d := range res.CompletionDay {
+			res.CompletionDay[d] /= float64(res.Cars)
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanDaysToComplete = sumDays / float64(res.Completed)
+	}
+	return res
+}
+
+// SegmentsFromReport derives per-car segments from a pipeline report
+// using the paper's thresholds: rare = on ≤ rareDays distinct days;
+// busy-hour = busy-time fraction ≥ 65%.
+func SegmentsFromReport(records []cdr.Record, ctx analysis.Context, rareDays int) map[cdr.CarID]Segment {
+	days := analysis.DaysOnNetwork(records, ctx.Period)
+	busy := analysis.BusyTimeOf(records, ctx)
+	out := make(map[cdr.CarID]Segment, len(days))
+	for car, d := range days {
+		out[car] = Segment{
+			Rare:     d <= rareDays,
+			BusyHour: busy.FracByCar[car] >= analysis.BusyCarMinFrac,
+		}
+	}
+	return out
+}
+
+// Compare runs the same campaign under several policies and returns
+// the results in input order — the ablation the benchmarks report.
+func Compare(records []cdr.Record, ctx analysis.Context, segments map[cdr.CarID]Segment, base Config, policies ...Policy) []Result {
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		cfg := base
+		cfg.Policy = p
+		out = append(out, Simulate(records, ctx, segments, cfg))
+	}
+	return out
+}
+
+// FormatResults renders campaign results as an aligned table.
+func FormatResults(results []Result) string {
+	s := fmt.Sprintf("%-18s  %6s  %9s  %10s  %9s  %10s\n",
+		"policy", "cars", "completed", "mean days", "busy MB%", "delivered")
+	for _, r := range results {
+		s += fmt.Sprintf("%-18s  %6d  %8.1f%%  %10.2f  %8.1f%%  %8.0fMB\n",
+			r.Policy, r.Cars,
+			100*float64(r.Completed)/float64(max(1, r.Cars)),
+			r.MeanDaysToComplete, 100*r.BusyShare(), r.DeliveredMB)
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WindowSuggestion recommends a per-car push window from its usage
+// matrix: the local hour-of-week with the most historical sessions
+// whose network-peak overlap is lowest — a simple scheduling aid for
+// OEM campaign tools.
+func WindowSuggestion(m *simtime.WeekMatrix) (hour, day int) {
+	_, peak, _ := analysis.ReferenceMatrices()
+	bestScore := -1.0
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			score := m.At(h, d)
+			if peak.At(h, d) > 0 {
+				score *= 0.25 // discount network busy hours
+			}
+			if score > bestScore {
+				bestScore, hour, day = score, h, d
+			}
+		}
+	}
+	return hour, day
+}
+
+// EstimateDuration returns how long a payload takes at a cell's
+// current utilization under the config's rate model.
+func EstimateDuration(cfg Config, u float64) time.Duration {
+	rate := (1 - u) * 100 * cfg.MbpsPerFreePRBPercent
+	if rate > cfg.MaxUEMbps {
+		rate = cfg.MaxUEMbps
+	}
+	if rate <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	seconds := cfg.UpdateMB * 8 / rate
+	return time.Duration(seconds * float64(time.Second))
+}

@@ -1,0 +1,230 @@
+package fota
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+var t0 = time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC)
+
+func rec(car cdr.CarID, cell radio.CellKey, start, dur time.Duration) cdr.Record {
+	return cdr.Record{Car: car, Cell: cell, Start: t0.Add(start), Duration: dur}
+}
+
+func cell(bs radio.BSID) radio.CellKey { return radio.MakeCellKey(bs, 0, radio.C3) }
+
+// fixedLoad marks one cell busy (0.9) and the rest idle (0.2).
+type fixedLoad struct{ busyCell radio.CellKey }
+
+func (f *fixedLoad) Utilization(c radio.CellKey, bin int) float64 {
+	if c == f.busyCell {
+		return 0.9
+	}
+	return 0.2
+}
+func (f *fixedLoad) BusyThreshold() float64 { return 0.8 }
+
+func ctxWith(busy radio.CellKey) analysis.Context {
+	return analysis.Context{
+		Period: simtime.NewPeriod(t0, 7),
+		Load:   &fixedLoad{busyCell: busy},
+	}
+}
+
+func TestNaiveCompletesFast(t *testing.T) {
+	ctx := ctxWith(cell(9))
+	// One car connected 30 minutes on an idle cell: at (1-0.2)*100*0.8 =
+	// 64 Mbps capped at 40 → 40 Mbps → 5 MB/s → 1800 s * 5 = 9000 MB.
+	records := []cdr.Record{rec(1, cell(1), time.Hour, 30*time.Minute)}
+	res := Simulate(records, ctx, nil, DefaultConfig(NaivePolicy{}))
+	if res.Cars != 1 || res.Completed != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.DeliveredMB != 200 {
+		t.Fatalf("delivered = %v", res.DeliveredMB)
+	}
+	if res.BusyMB != 0 {
+		t.Fatalf("busy MB = %v on an idle cell", res.BusyMB)
+	}
+	if res.CompletionDay[0] != 1 || res.CompletionDay[6] != 1 {
+		t.Fatalf("completion curve: %v", res.CompletionDay)
+	}
+	if res.MeanDaysToComplete != 1 {
+		t.Fatalf("mean days = %v", res.MeanDaysToComplete)
+	}
+}
+
+func TestNaivePushesIntoBusyCells(t *testing.T) {
+	busy := cell(9)
+	ctx := ctxWith(busy)
+	records := []cdr.Record{rec(1, busy, time.Hour, 30*time.Minute)}
+	res := Simulate(records, ctx, nil, DefaultConfig(NaivePolicy{}))
+	if res.BusyMB == 0 {
+		t.Fatal("naive policy should push into the busy cell")
+	}
+	if res.BusyShare() != 1 {
+		t.Fatalf("busy share = %v", res.BusyShare())
+	}
+}
+
+func TestSegmentAwareDefersCommonCars(t *testing.T) {
+	busy := cell(9)
+	ctx := ctxWith(busy)
+	records := []cdr.Record{
+		rec(1, busy, time.Hour, 30*time.Minute),       // common car in busy cell
+		rec(1, cell(1), 30*time.Hour, 30*time.Minute), // later, idle cell
+		rec(2, busy, time.Hour, 30*time.Minute),       // rare car in busy cell
+	}
+	segments := map[cdr.CarID]Segment{
+		1: {Rare: false},
+		2: {Rare: true},
+	}
+	res := Simulate(records, ctx, segments, DefaultConfig(SegmentAwarePolicy{BusyThreshold: 0.8}))
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// Only the rare car's bytes may hit the busy cell.
+	if res.BusyMB != 200 {
+		t.Fatalf("busy MB = %v, want exactly the rare car's 200", res.BusyMB)
+	}
+}
+
+func TestSegmentAwareReducesBusyShareVsNaive(t *testing.T) {
+	busy := cell(9)
+	ctx := ctxWith(busy)
+	var records []cdr.Record
+	// Ten cars alternating between busy and idle cells.
+	for car := cdr.CarID(1); car <= 10; car++ {
+		records = append(records,
+			rec(car, busy, time.Duration(car)*time.Hour, 10*time.Minute),
+			rec(car, cell(1), 30*time.Hour+time.Duration(car)*time.Hour, 30*time.Minute),
+		)
+	}
+	results := Compare(records, ctx, nil, DefaultConfig(nil),
+		NaivePolicy{}, SegmentAwarePolicy{BusyThreshold: 0.8})
+	if results[0].BusyShare() <= results[1].BusyShare() {
+		t.Fatalf("naive busy share %.3f not above segment-aware %.3f",
+			results[0].BusyShare(), results[1].BusyShare())
+	}
+	if results[1].BusyMB != 0 {
+		t.Fatalf("segment-aware pushed %v MB into busy cells", results[1].BusyMB)
+	}
+}
+
+func TestRandomizedPolicyDeterministicAndPartial(t *testing.T) {
+	p := RandomizedPolicy{P: 0.5, Seed: 7}
+	allowedA, allowedB := 0, 0
+	for bin := 0; bin < 1000; bin++ {
+		if p.Allow(1, Segment{}, cell(1), bin, 0.2) {
+			allowedA++
+		}
+		if p.Allow(1, Segment{}, cell(1), bin, 0.9) { // u must not matter
+			allowedB++
+		}
+	}
+	if allowedA != allowedB {
+		t.Fatal("randomized policy must not depend on utilization")
+	}
+	if allowedA < 350 || allowedA > 650 {
+		t.Fatalf("allowed %d/1000 at P=0.5", allowedA)
+	}
+	if p.Name() != "randomized(0.50)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestSimulatePanicsWithoutLoad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Simulate(nil, analysis.Context{Period: simtime.NewPeriod(t0, 7)}, nil, DefaultConfig(nil))
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	ctx := ctxWith(cell(9))
+	res := Simulate(nil, ctx, nil, Config{})
+	if res.Policy != "naive" {
+		t.Fatalf("default policy = %q", res.Policy)
+	}
+	if res.Cars != 0 || res.Completed != 0 {
+		t.Fatalf("empty campaign: %+v", res)
+	}
+	if res.BusyShare() != 0 {
+		t.Fatal("busy share of empty campaign")
+	}
+}
+
+func TestSegmentsFromReport(t *testing.T) {
+	busy := cell(9)
+	ctx := ctxWith(busy)
+	records := []cdr.Record{
+		rec(1, busy, time.Hour, 10*time.Minute), // 1 day, all busy
+		rec(2, cell(1), time.Hour, 10*time.Minute),
+		rec(2, cell(1), 25*time.Hour, 10*time.Minute),
+		rec(2, cell(1), 49*time.Hour, 10*time.Minute), // 3 days, never busy
+	}
+	segs := SegmentsFromReport(records, ctx, 1)
+	if !segs[1].Rare || !segs[1].BusyHour {
+		t.Fatalf("car 1 segment: %+v", segs[1])
+	}
+	if segs[2].Rare || segs[2].BusyHour {
+		t.Fatalf("car 2 segment: %+v", segs[2])
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	out := FormatResults([]Result{{Policy: "naive", Cars: 10, Completed: 5, DeliveredMB: 100, BusyMB: 25, MeanDaysToComplete: 2}})
+	if !strings.Contains(out, "naive") || !strings.Contains(out, "50.0%") || !strings.Contains(out, "25.0%") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestWindowSuggestionAvoidsPeaks(t *testing.T) {
+	var m simtime.WeekMatrix
+	// Heavy usage Monday 20:00 (network peak) and light usage Monday
+	// 06:00 (off peak).
+	m.Set(20, 0, 10)
+	m.Set(6, 0, 4)
+	h, d := WindowSuggestion(&m)
+	if h != 6 || d != 0 {
+		t.Fatalf("suggested %d:00 day %d, want 6:00 Monday", h, d)
+	}
+}
+
+func TestEstimateDuration(t *testing.T) {
+	cfg := DefaultConfig(NaivePolicy{})
+	fast := EstimateDuration(cfg, 0.0)
+	slow := EstimateDuration(cfg, 0.95)
+	if fast >= slow {
+		t.Fatalf("duration at idle %v not below busy %v", fast, slow)
+	}
+	// 200 MB at 40 Mbps = 40 s.
+	if fast != 40*time.Second {
+		t.Fatalf("fast = %v, want 40s", fast)
+	}
+	// Fully saturated cell: effectively forever.
+	if EstimateDuration(cfg, 1.0) < time.Hour*24*365 {
+		t.Fatal("saturated cell should be near-infinite")
+	}
+}
+
+func TestCompareKeepsOrder(t *testing.T) {
+	ctx := ctxWith(cell(9))
+	records := []cdr.Record{rec(1, cell(1), time.Hour, 10*time.Minute)}
+	results := Compare(records, ctx, nil, DefaultConfig(nil),
+		NaivePolicy{}, RandomizedPolicy{P: 0.3}, SegmentAwarePolicy{BusyThreshold: 0.8})
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Policy != "naive" || results[2].Policy != "segment-aware" {
+		t.Fatalf("order: %v %v %v", results[0].Policy, results[1].Policy, results[2].Policy)
+	}
+}

@@ -1,0 +1,128 @@
+package fota
+
+import (
+	"fmt"
+	"sort"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/predict"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+// HourSet is a 168-bit set of hour-of-week slots.
+type HourSet [3]uint64
+
+// Set marks an hour-of-week slot. It panics out of range.
+func (h *HourSet) Set(hour int) {
+	if hour < 0 || hour >= predict.HoursPerWeek {
+		panic(fmt.Sprintf("fota: hour-of-week %d out of range", hour))
+	}
+	h[hour/64] |= 1 << uint(hour%64)
+}
+
+// Contains reports whether the slot is marked.
+func (h *HourSet) Contains(hour int) bool {
+	if hour < 0 || hour >= predict.HoursPerWeek {
+		return false
+	}
+	return h[hour/64]&(1<<uint(hour%64)) != 0
+}
+
+// Count returns the number of marked slots.
+func (h *HourSet) Count() int {
+	n := 0
+	for _, w := range h {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ScheduledPolicy refines SegmentAwarePolicy with per-car time
+// windows: common cars receive bytes only during their planned
+// hour-of-week slots AND while the serving cell is below the busy
+// threshold — scheduling decides *when*, the load check still decides
+// *where*. Cars without a window (new or unpredictable) fall back to
+// the plain busy-threshold rule; rare cars are always pushed.
+type ScheduledPolicy struct {
+	// Period and TZOffsetSeconds convert study bins to local
+	// hour-of-week.
+	Period          simtime.Period
+	TZOffsetSeconds int
+	// Windows maps each car to its allowed slots.
+	Windows map[cdr.CarID]HourSet
+	// BusyThreshold gates pushes inside and outside windows.
+	BusyThreshold float64
+}
+
+// Name implements Policy.
+func (ScheduledPolicy) Name() string { return "scheduled" }
+
+// Allow implements Policy.
+func (s ScheduledPolicy) Allow(car cdr.CarID, seg Segment, _ radio.CellKey, bin int, u float64) bool {
+	if seg.Rare {
+		return true // scarce appearance windows: take what we get
+	}
+	if u > s.BusyThreshold {
+		return false
+	}
+	w, ok := s.Windows[car]
+	if !ok {
+		return true
+	}
+	t := s.Period.BinStart(bin)
+	return w.Contains(simtime.HourOfWeek(t, s.TZOffsetSeconds))
+}
+
+// PlanWindows learns each car's profile over trainWeeks and plans a
+// per-car push window of the hoursPerCar most frequent appearance
+// hours, discounting network-peak hours so downloads land off-peak
+// where the car's routine allows. Cars with no history get no window.
+func PlanWindows(records []cdr.Record, ctx analysis.Context, trainWeeks, hoursPerCar int) map[cdr.CarID]HourSet {
+	if hoursPerCar < 1 {
+		hoursPerCar = 1
+	}
+	byCar := make(map[cdr.CarID][]cdr.Record)
+	for _, r := range records {
+		byCar[r.Car] = append(byCar[r.Car], r)
+	}
+	_, peak, _ := analysis.ReferenceMatrices()
+
+	out := make(map[cdr.CarID]HourSet, len(byCar))
+	for car, recs := range byCar {
+		profile := predict.Learn(recs, ctx.Period, ctx.TZOffsetSeconds, trainWeeks)
+		type slot struct {
+			hour  int
+			score float64
+		}
+		var slots []slot
+		for h, f := range profile.Freq {
+			if f <= 0 {
+				continue
+			}
+			score := f
+			if peak.At(h%24, h/24) > 0 {
+				score *= 0.25 // prefer off-peak appearances
+			}
+			slots = append(slots, slot{h, score})
+		}
+		if len(slots) == 0 {
+			continue
+		}
+		sort.Slice(slots, func(i, j int) bool {
+			if slots[i].score != slots[j].score {
+				return slots[i].score > slots[j].score
+			}
+			return slots[i].hour < slots[j].hour
+		})
+		var w HourSet
+		for i := 0; i < hoursPerCar && i < len(slots); i++ {
+			w.Set(slots[i].hour)
+		}
+		out[car] = w
+	}
+	return out
+}

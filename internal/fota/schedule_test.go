@@ -1,0 +1,153 @@
+package fota
+
+import (
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/predict"
+	"cellcars/internal/simtime"
+)
+
+func TestHourSet(t *testing.T) {
+	var h HourSet
+	h.Set(0)
+	h.Set(100)
+	h.Set(predict.HoursPerWeek - 1)
+	if !h.Contains(0) || !h.Contains(100) || !h.Contains(167) {
+		t.Fatal("contains")
+	}
+	if h.Contains(1) || h.Contains(-1) || h.Contains(200) {
+		t.Fatal("spurious contains")
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHourSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var h HourSet
+	h.Set(predict.HoursPerWeek)
+}
+
+func TestScheduledPolicyWindow(t *testing.T) {
+	period := simtime.NewPeriod(t0, 7) // starts Monday
+	var w HourSet
+	w.Set(8) // Monday 08:00 UTC
+	p := ScheduledPolicy{
+		Period:        period,
+		Windows:       map[cdr.CarID]HourSet{1: w},
+		BusyThreshold: 0.8,
+	}
+	// Bin at Monday 08:15 is inside the window.
+	binIn := period.BinIndex(t0.Add(8*time.Hour + 15*time.Minute))
+	if !p.Allow(1, Segment{}, cell(1), binIn, 0.5) {
+		t.Fatal("in-window push on an idle cell rejected")
+	}
+	// The busy gate holds even inside the window.
+	if p.Allow(1, Segment{}, cell(1), binIn, 0.95) {
+		t.Fatal("in-window push on a busy cell accepted")
+	}
+	// Monday 09:00 is outside.
+	binOut := period.BinIndex(t0.Add(9 * time.Hour))
+	if p.Allow(1, Segment{}, cell(1), binOut, 0.1) {
+		t.Fatal("out-of-window push accepted")
+	}
+	// Rare cars bypass windows.
+	if !p.Allow(1, Segment{Rare: true}, cell(1), binOut, 0.95) {
+		t.Fatal("rare car rejected")
+	}
+	// Window-less cars fall back to the busy rule.
+	if !p.Allow(2, Segment{}, cell(1), binOut, 0.5) {
+		t.Fatal("window-less car rejected on idle cell")
+	}
+	if p.Allow(2, Segment{}, cell(1), binOut, 0.95) {
+		t.Fatal("window-less car accepted on busy cell")
+	}
+	if p.Name() != "scheduled" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestScheduledPolicyHonoursTimezone(t *testing.T) {
+	period := simtime.NewPeriod(t0, 7)
+	var w HourSet
+	w.Set(8) // local Monday 08:00
+	p := ScheduledPolicy{
+		Period:          period,
+		TZOffsetSeconds: -5 * 3600,
+		Windows:         map[cdr.CarID]HourSet{1: w},
+		BusyThreshold:   0.8,
+	}
+	// Local Monday 08:00 = 13:00 UTC.
+	bin := period.BinIndex(t0.Add(13 * time.Hour))
+	if !p.Allow(1, Segment{}, cell(1), bin, 0.2) {
+		t.Fatal("tz-shifted window rejected")
+	}
+}
+
+func TestPlanWindows(t *testing.T) {
+	ctx := ctxWith(cell(9))
+	// Car 1 appears Monday 06:00 (off-peak) and Monday 20:00 (network
+	// peak) every week; the planner must prefer the off-peak hour.
+	var records []cdr.Record
+	// One-week period in ctxWith; use a 2-week period instead.
+	ctx.Period = simtime.NewPeriod(t0, 14)
+	for w := 0; w < 2; w++ {
+		base := time.Duration(w*7*24) * time.Hour
+		records = append(records,
+			rec(1, cell(1), base+6*time.Hour, 20*time.Minute),
+			rec(1, cell(1), base+20*time.Hour, 20*time.Minute),
+		)
+	}
+	windows := PlanWindows(records, ctx, 2, 1)
+	w, ok := windows[1]
+	if !ok {
+		t.Fatal("no window planned")
+	}
+	if !w.Contains(6) {
+		t.Fatalf("window does not contain the off-peak hour: count=%d contains20=%v",
+			w.Count(), w.Contains(20))
+	}
+	if w.Count() != 1 {
+		t.Fatalf("window size = %d, want 1", w.Count())
+	}
+}
+
+func TestPlanWindowsEmptyHistory(t *testing.T) {
+	ctx := ctxWith(cell(9))
+	windows := PlanWindows(nil, ctx, 1, 2)
+	if len(windows) != 0 {
+		t.Fatalf("windows for no cars: %v", windows)
+	}
+}
+
+func TestScheduledPolicyEndToEnd(t *testing.T) {
+	ctx := ctxWith(cell(9))
+	ctx.Period = simtime.NewPeriod(t0, 14)
+	// A car appearing Monday 06:00 weekly on an idle cell.
+	var records []cdr.Record
+	for w := 0; w < 2; w++ {
+		base := time.Duration(w*7*24) * time.Hour
+		records = append(records, rec(1, cell(1), base+6*time.Hour, 30*time.Minute))
+	}
+	windows := PlanWindows(records, ctx, 1, 2)
+	cfg := DefaultConfig(ScheduledPolicy{
+		Period:        ctx.Period,
+		Windows:       windows,
+		BusyThreshold: 0.8,
+	})
+	cfg.UpdateMB = 100
+	res := Simulate(records, ctx, nil, cfg)
+	if res.Completed != 1 {
+		t.Fatalf("scheduled campaign completed %d/%d", res.Completed, res.Cars)
+	}
+	if res.BusyMB != 0 {
+		t.Fatalf("busy bytes %v on an idle cell", res.BusyMB)
+	}
+}

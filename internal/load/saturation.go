@@ -1,0 +1,107 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+// SaturationResult reproduces the Figure 1 field experiment: a single
+// device starts a continuous greedy download in one or more cells and
+// the cells' PRB utilization is observed over a 24-hour window,
+// alongside the cells' average day for reference.
+type SaturationResult struct {
+	// Cells are the cells under test, in input order.
+	Cells []radio.CellKey
+	// Day is the study day index of the experiment.
+	Day int
+	// StartBin and EndBin bound the greedy download within the day
+	// (bin-of-day indices, end exclusive).
+	StartBin, EndBin int
+	// Test[i] is cell i's utilization during the experiment day,
+	// per 15-minute bin.
+	Test []simtime.DayVector
+	// Average[i] is cell i's utilization averaged over every other
+	// study day, per 15-minute bin — the dashed reference curves.
+	Average []simtime.DayVector
+}
+
+// Saturate runs the Figure 1 experiment against the model: during
+// [start, start+duration) on the given day, a greedy flow in each test
+// cell consumes nearly all PRBs left free by background load, pinning
+// utilization near 100%. greedyShare is the fraction of free resources
+// the flow can actually capture (scheduler overhead keeps it below 1;
+// the paper's plot shows ~95-100%). A window running past midnight is
+// clamped to the day's end, matching Figure 1 whose 20:45+4h download
+// runs off the right edge of the plot. It panics when the start falls
+// outside the day, the duration is not positive, or the day is outside
+// the model period.
+func Saturate(m *Model, cells []radio.CellKey, day int, start, duration time.Duration, greedyShare float64) SaturationResult {
+	if day < 0 || day >= m.period.Days() {
+		panic(fmt.Sprintf("load: day %d outside period", day))
+	}
+	if greedyShare <= 0 || greedyShare > 1 {
+		panic(fmt.Sprintf("load: greedyShare %v outside (0,1]", greedyShare))
+	}
+	startBin := int(start / simtime.BinWidth)
+	endBin := startBin + int((duration+simtime.BinWidth-1)/simtime.BinWidth)
+	if startBin < 0 || startBin >= simtime.BinsPerDay || startBin >= endBin {
+		panic(fmt.Sprintf("load: experiment window [%d,%d) invalid", startBin, endBin))
+	}
+	if endBin > simtime.BinsPerDay {
+		endBin = simtime.BinsPerDay
+	}
+
+	res := SaturationResult{
+		Cells:    append([]radio.CellKey(nil), cells...),
+		Day:      day,
+		StartBin: startBin,
+		EndBin:   endBin,
+		Test:     make([]simtime.DayVector, len(cells)),
+		Average:  make([]simtime.DayVector, len(cells)),
+	}
+	for i, cell := range cells {
+		// Average curve over all other study days.
+		var avg simtime.DayVector
+		n := 0
+		for d := 0; d < m.period.Days(); d++ {
+			if d == day {
+				continue
+			}
+			for b := 0; b < simtime.BinsPerDay; b++ {
+				avg[b] += m.Utilization(cell, d*simtime.BinsPerDay+b)
+			}
+			n++
+		}
+		if n > 0 {
+			for b := range avg {
+				avg[b] /= float64(n)
+			}
+		}
+		res.Average[i] = avg
+
+		// Test-day curve with the greedy flow soaking up free PRBs.
+		var test simtime.DayVector
+		for b := 0; b < simtime.BinsPerDay; b++ {
+			u := m.Utilization(cell, day*simtime.BinsPerDay+b)
+			if b >= startBin && b < endBin {
+				u += (1 - u) * greedyShare
+			}
+			test[b] = clamp(u, 0, 1)
+		}
+		res.Test[i] = test
+	}
+	return res
+}
+
+// PeakTestUtilization returns the mean test utilization inside the
+// experiment window for cell index i.
+func (r *SaturationResult) PeakTestUtilization(i int) float64 {
+	var s float64
+	for b := r.StartBin; b < r.EndBin; b++ {
+		s += r.Test[i][b]
+	}
+	return s / float64(r.EndBin-r.StartBin)
+}

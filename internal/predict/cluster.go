@@ -1,0 +1,132 @@
+package predict
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/simtime"
+	"cellcars/internal/stats"
+)
+
+// CarCluster is one behavioural group of cars found by clustering
+// their weekly appearance profiles.
+type CarCluster struct {
+	// Cars are the member ids, ascending.
+	Cars []cdr.CarID
+	// Centroid is the group's mean hour-of-week frequency profile.
+	Centroid [HoursPerWeek]float64
+	// MeanPredictability averages the members' scores.
+	MeanPredictability float64
+}
+
+// PeakHour returns the centroid's strongest hour-of-week.
+func (c *CarCluster) PeakHour() int {
+	best, bestV := 0, -1.0
+	for h, v := range c.Centroid {
+		if v > bestV {
+			best, bestV = h, v
+		}
+	}
+	return best
+}
+
+// WeekendShare returns the fraction of the centroid's mass on
+// Saturday and Sunday.
+func (c *CarCluster) WeekendShare() float64 {
+	var wk, total float64
+	for h, v := range c.Centroid {
+		total += v
+		if h >= 5*24 {
+			wk += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return wk / total
+}
+
+// ClusterCars groups cars by their weekly appearance profiles using
+// k-means over L2-normalized frequency vectors — the clustering the
+// paper's introduction promises ("cars can be clustered according to
+// predictability in their behavior"). Cars with no training-window
+// records are skipped. Clusters are ordered by descending size.
+// It panics when k < 1; cars fewer than k yields one cluster per car.
+func ClusterCars(records []cdr.Record, period simtime.Period, tzOffset, trainWeeks, k int, rng *rand.Rand) []CarCluster {
+	if k < 1 {
+		panic("predict: ClusterCars needs k >= 1")
+	}
+	byCar := make(map[cdr.CarID][]cdr.Record)
+	for _, r := range records {
+		byCar[r.Car] = append(byCar[r.Car], r)
+	}
+	cars := make([]cdr.CarID, 0, len(byCar))
+	for car := range byCar {
+		cars = append(cars, car)
+	}
+	sort.Slice(cars, func(i, j int) bool { return cars[i] < cars[j] })
+
+	var ids []cdr.CarID
+	var vectors [][]float64
+	var scores []float64
+	for _, car := range cars {
+		p := Learn(byCar[car], period, tzOffset, trainWeeks)
+		v := normalize(p.Freq[:])
+		if v == nil {
+			continue
+		}
+		ids = append(ids, car)
+		vectors = append(vectors, v)
+		scores = append(scores, p.Predictability)
+	}
+	if len(vectors) == 0 {
+		return nil
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	km := stats.KMeans(vectors, k, 100, rng)
+
+	clusters := make([]CarCluster, k)
+	for i, a := range km.Assignments {
+		clusters[a].Cars = append(clusters[a].Cars, ids[i])
+		clusters[a].MeanPredictability += scores[i]
+		for h, v := range vectors[i] {
+			clusters[a].Centroid[h] += v
+		}
+	}
+	for c := range clusters {
+		n := float64(len(clusters[c].Cars))
+		if n == 0 {
+			continue
+		}
+		clusters[c].MeanPredictability /= n
+		for h := range clusters[c].Centroid {
+			clusters[c].Centroid[h] /= n
+		}
+	}
+	sort.SliceStable(clusters, func(i, j int) bool {
+		return len(clusters[i].Cars) > len(clusters[j].Cars)
+	})
+	return clusters
+}
+
+// normalize returns the L2-normalized copy of v, or nil when v is all
+// zeros.
+func normalize(v []float64) []float64 {
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		return nil
+	}
+	norm = math.Sqrt(norm)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / norm
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package predict
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+var t0 = time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC) // a Monday
+
+func period(weeks int) simtime.Period { return simtime.NewPeriod(t0, weeks*7) }
+
+func rec(car cdr.CarID, start time.Duration, dur time.Duration) cdr.Record {
+	return cdr.Record{
+		Car:      car,
+		Cell:     radio.MakeCellKey(1, 0, radio.C3),
+		Start:    t0.Add(start),
+		Duration: dur,
+	}
+}
+
+// weeklyCommuter returns records for a car appearing every Monday and
+// Wednesday at 08:00 UTC for 30 minutes over the given weeks.
+func weeklyCommuter(car cdr.CarID, weeks int) []cdr.Record {
+	var out []cdr.Record
+	for w := 0; w < weeks; w++ {
+		for _, day := range []int{0, 2} {
+			start := time.Duration(w*7+day)*24*time.Hour + 8*time.Hour
+			out = append(out, rec(car, start, 30*time.Minute))
+		}
+	}
+	return out
+}
+
+func TestLearnPerfectlyRegularCar(t *testing.T) {
+	p := Learn(weeklyCommuter(1, 4), period(6), 0, 4)
+	if p.Car != 1 || p.Weeks != 4 {
+		t.Fatalf("profile header: %+v", p)
+	}
+	// Monday 08:00 = hour-of-week 8; Wednesday 08:00 = 2*24+8.
+	if f := p.Freq[8]; f < 0.999 || f > 1.001 {
+		t.Fatalf("Monday 08 freq = %v, want 1", f)
+	}
+	if f := p.Freq[2*24+8]; f < 0.999 {
+		t.Fatalf("Wednesday 08 freq = %v, want 1", f)
+	}
+	if p.Freq[9] != 0 {
+		t.Fatalf("Monday 09 freq = %v, want 0 (sub-hour session)", p.Freq[9])
+	}
+	if p.Predictability != 1 {
+		t.Fatalf("perfectly regular car predictability = %v, want 1", p.Predictability)
+	}
+	active := p.ActiveHours(0.5)
+	if len(active) != 2 || active[0] != 8 || active[1] != 2*24+8 {
+		t.Fatalf("active hours = %v", active)
+	}
+}
+
+func TestLearnIrregularCarScoresLower(t *testing.T) {
+	// A car appearing in a different hour each week.
+	var recs []cdr.Record
+	for w := 0; w < 4; w++ {
+		start := time.Duration(w*7)*24*time.Hour + time.Duration(5+w*3)*time.Hour
+		recs = append(recs, rec(2, start, 30*time.Minute))
+	}
+	irregular := Learn(recs, period(6), 0, 4)
+	regular := Learn(weeklyCommuter(1, 4), period(6), 0, 4)
+	if irregular.Predictability >= regular.Predictability {
+		t.Fatalf("irregular %.3f >= regular %.3f", irregular.Predictability, regular.Predictability)
+	}
+}
+
+func TestLearnEmptyHistory(t *testing.T) {
+	p := Learn(nil, period(4), 0, 2)
+	if p.Predictability != 0 {
+		t.Fatalf("empty car predictability = %v", p.Predictability)
+	}
+	if len(p.ActiveHours(0.1)) != 0 {
+		t.Fatal("empty car has active hours")
+	}
+}
+
+func TestLearnPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Learn(nil, period(2), 0, 3)
+}
+
+func TestPredictPanicsOutOfRange(t *testing.T) {
+	p := Learn(nil, period(2), 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Predict(HoursPerWeek, 0.5)
+}
+
+func TestLearnHonoursTimezone(t *testing.T) {
+	// 13:00 UTC at UTC-5 is 08:00 local.
+	recs := []cdr.Record{rec(3, 13*time.Hour, 30*time.Minute)}
+	p := Learn(recs, period(2), -5*3600, 1)
+	if p.Freq[8] != 1 {
+		t.Fatalf("local hour 8 freq = %v", p.Freq[8])
+	}
+	if p.Freq[13] != 0 {
+		t.Fatal("UTC hour wrongly marked")
+	}
+}
+
+func TestBacktestPerfectCar(t *testing.T) {
+	// Regular over 6 weeks: train 4, evaluate 2 → every prediction hits.
+	recs := weeklyCommuter(1, 6)
+	o := Backtest(recs, period(6), 0, 4, 2, 0.5)
+	if o.TruePositive != 4 { // 2 hours × 2 eval weeks
+		t.Fatalf("TP = %d, want 4", o.TruePositive)
+	}
+	if o.FalsePositive != 0 || o.FalseNegative != 0 {
+		t.Fatalf("FP/FN = %d/%d, want 0/0", o.FalsePositive, o.FalseNegative)
+	}
+	if o.Precision() != 1 || o.Recall() != 1 || o.F1() != 1 {
+		t.Fatalf("P/R/F1 = %v/%v/%v", o.Precision(), o.Recall(), o.F1())
+	}
+	wantTN := int64(2*HoursPerWeek - 4)
+	if o.TrueNegative != wantTN {
+		t.Fatalf("TN = %d, want %d", o.TrueNegative, wantTN)
+	}
+}
+
+func TestBacktestCarThatStops(t *testing.T) {
+	// Active during training, silent during evaluation: all FP.
+	recs := weeklyCommuter(1, 4)
+	o := Backtest(recs, period(6), 0, 4, 2, 0.5)
+	if o.TruePositive != 0 || o.FalsePositive != 4 {
+		t.Fatalf("TP/FP = %d/%d, want 0/4", o.TruePositive, o.FalsePositive)
+	}
+	if o.Precision() != 0 {
+		t.Fatalf("precision = %v", o.Precision())
+	}
+}
+
+func TestBacktestCarThatStarts(t *testing.T) {
+	// Silent during training, active during evaluation: all FN.
+	var recs []cdr.Record
+	for w := 4; w < 6; w++ {
+		recs = append(recs, rec(1, time.Duration(w*7)*24*time.Hour+8*time.Hour, 30*time.Minute))
+	}
+	o := Backtest(recs, period(6), 0, 4, 2, 0.5)
+	if o.FalseNegative != 2 || o.TruePositive != 0 {
+		t.Fatalf("FN/TP = %d/%d, want 2/0", o.FalseNegative, o.TruePositive)
+	}
+	if o.Recall() != 0 || o.F1() != 0 {
+		t.Fatalf("recall = %v, F1 = %v", o.Recall(), o.F1())
+	}
+}
+
+func TestBacktestPanicsOnWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Backtest(nil, period(4), 0, 3, 2, 0.5)
+}
+
+func TestOutcomeEdgeCases(t *testing.T) {
+	var o Outcome
+	if o.Precision() != 0 || o.Recall() != 0 || o.F1() != 0 {
+		t.Fatal("empty outcome must report zeros")
+	}
+}
+
+func TestBacktestFleet(t *testing.T) {
+	var records []cdr.Record
+	// 8 regular cars and 4 erratic ones.
+	for car := cdr.CarID(1); car <= 8; car++ {
+		records = append(records, weeklyCommuter(car, 6)...)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for car := cdr.CarID(9); car <= 12; car++ {
+		for w := 0; w < 6; w++ {
+			h := time.Duration(rng.IntN(24*7)) * time.Hour
+			records = append(records, rec(car, time.Duration(w*7)*24*time.Hour+h, 30*time.Minute))
+		}
+	}
+	res := BacktestFleet(records, period(6), 0, 4, 2, 0.5)
+	if res.Cars != 12 {
+		t.Fatalf("cars = %d", res.Cars)
+	}
+	if res.Overall.TruePositive == 0 {
+		t.Fatal("no true positives across a mostly regular fleet")
+	}
+	if res.MeanPredictability <= 0 || res.MeanPredictability > 1 {
+		t.Fatalf("mean predictability = %v", res.MeanPredictability)
+	}
+	// The top predictability quartile should outperform the bottom.
+	bottom, top := res.ByPredictability[0], res.ByPredictability[3]
+	if top.F1() <= bottom.F1() {
+		t.Fatalf("top quartile F1 %.3f not above bottom %.3f", top.F1(), bottom.F1())
+	}
+}
+
+func TestBacktestFleetEmpty(t *testing.T) {
+	res := BacktestFleet(nil, period(6), 0, 4, 2, 0.5)
+	if res.Cars != 0 {
+		t.Fatalf("cars = %d", res.Cars)
+	}
+}
+
+func TestClusterCarsSeparatesBehaviours(t *testing.T) {
+	var records []cdr.Record
+	// Ten weekday-morning cars and ten weekend-afternoon cars.
+	for car := cdr.CarID(1); car <= 10; car++ {
+		records = append(records, weeklyCommuter(car, 4)...)
+	}
+	for car := cdr.CarID(11); car <= 20; car++ {
+		for w := 0; w < 4; w++ {
+			start := time.Duration(w*7+5)*24*time.Hour + 14*time.Hour // Saturday 14:00
+			records = append(records, rec(car, start, 45*time.Minute))
+		}
+	}
+	clusters := ClusterCars(records, period(4), 0, 4, 2, rand.New(rand.NewPCG(3, 4)))
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	if len(clusters[0].Cars)+len(clusters[1].Cars) != 20 {
+		t.Fatalf("cluster sizes: %d + %d", len(clusters[0].Cars), len(clusters[1].Cars))
+	}
+	// One cluster must be weekend-dominated, the other weekday.
+	var weekendCluster, weekdayCluster *CarCluster
+	for i := range clusters {
+		if clusters[i].WeekendShare() > 0.5 {
+			weekendCluster = &clusters[i]
+		} else {
+			weekdayCluster = &clusters[i]
+		}
+	}
+	if weekendCluster == nil || weekdayCluster == nil {
+		t.Fatalf("weekend shares: %.2f / %.2f",
+			clusters[0].WeekendShare(), clusters[1].WeekendShare())
+	}
+	if len(weekendCluster.Cars) != 10 || len(weekdayCluster.Cars) != 10 {
+		t.Fatalf("cluster membership: weekend %d, weekday %d",
+			len(weekendCluster.Cars), len(weekdayCluster.Cars))
+	}
+	// Peak hours land in the right part of the week.
+	if ph := weekendCluster.PeakHour(); ph < 5*24 {
+		t.Fatalf("weekend cluster peak hour %d not on a weekend", ph)
+	}
+	if ph := weekdayCluster.PeakHour(); ph >= 5*24 {
+		t.Fatalf("weekday cluster peak hour %d on a weekend", ph)
+	}
+}
+
+func TestClusterCarsDegenerate(t *testing.T) {
+	if got := ClusterCars(nil, period(2), 0, 1, 2, rand.New(rand.NewPCG(1, 1))); got != nil {
+		t.Fatal("no cars should yield no clusters")
+	}
+	// One car, k=3: one cluster per car.
+	records := weeklyCommuter(1, 2)
+	clusters := ClusterCars(records, period(2), 0, 2, 3, rand.New(rand.NewPCG(1, 1)))
+	if len(clusters) != 1 || len(clusters[0].Cars) != 1 {
+		t.Fatalf("clusters: %+v", clusters)
+	}
+}
+
+func TestClusterCarsPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ClusterCars(nil, period(2), 0, 1, 0, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestNormalize(t *testing.T) {
+	if normalize([]float64{0, 0}) != nil {
+		t.Fatal("zero vector should normalize to nil")
+	}
+	v := normalize([]float64{3, 4})
+	if v[0] != 0.6 || v[1] != 0.8 {
+		t.Fatalf("normalize = %v", v)
+	}
+}
+
+func TestPredictabilityBounds(t *testing.T) {
+	if p := predictability([]float64{1, 1, 1}); p != 1 {
+		t.Fatalf("always-on predictability = %v", p)
+	}
+	if p := predictability([]float64{0.5, 0.5}); p != 0 {
+		t.Fatalf("coin-flip predictability = %v", p)
+	}
+	if p := predictability(nil); p != 0 {
+		t.Fatalf("empty predictability = %v", p)
+	}
+}

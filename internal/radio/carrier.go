@@ -1,0 +1,107 @@
+// Package radio models the cellular radio network the cars connect to:
+// carriers (frequency bands), cells, sectors, base stations, the
+// topology that places them over a geographic world, the neighbour
+// graph used to route trips, and handover classification.
+//
+// Terminology follows the paper (§3): a "cell" is one directional
+// radio on one carrier; multiple cells covering the same direction
+// form a "sector"; a base station hosts several sectors, typically
+// three covering ~120° each, and anywhere from 3 to 12+ cells.
+package radio
+
+import "fmt"
+
+// Tech is the radio access technology of a carrier.
+type Tech uint8
+
+// Radio access technologies observed in the study population: the cars
+// carry 3G/4G modems.
+const (
+	Tech3G Tech = iota
+	Tech4G
+)
+
+// String returns "3G" or "4G".
+func (t Tech) String() string {
+	switch t {
+	case Tech3G:
+		return "3G"
+	case Tech4G:
+		return "4G"
+	default:
+		return fmt.Sprintf("tech(%d)", uint8(t))
+	}
+}
+
+// CarrierID names one of the five carriers observed in the study,
+// C1 through C5. The zero value means "no carrier".
+type CarrierID uint8
+
+// The five carriers, named as in the paper's Table 3.
+const (
+	C1 CarrierID = 1 + iota
+	C2
+	C3
+	C4
+	C5
+)
+
+// NumCarriers is the number of distinct carriers in the model.
+const NumCarriers = 5
+
+// String returns the paper's name for the carrier ("C1" … "C5").
+func (c CarrierID) String() string {
+	if c < C1 || c > C5 {
+		return fmt.Sprintf("C?(%d)", uint8(c))
+	}
+	return fmt.Sprintf("C%d", uint8(c))
+}
+
+// Valid reports whether c names one of the five modelled carriers.
+func (c CarrierID) Valid() bool { return c >= C1 && c <= C5 }
+
+// Carrier describes one radio frequency carrier. Higher-frequency
+// bands carry wider channels and therefore more Physical Resource
+// Blocks (PRBs) and higher throughput (§4.6).
+type Carrier struct {
+	ID           CarrierID
+	Tech         Tech
+	BandMHz      int     // centre frequency band, MHz
+	BandwidthMHz float64 // channel bandwidth, MHz
+	PRBs         int     // physical resource blocks per subframe (LTE sizing)
+}
+
+// Carriers returns the five-carrier deployment used throughout the
+// reproduction. The paper anonymizes the bands, so the concrete
+// frequencies are representative of a US operator circa 2017:
+//
+//	C1: low-band LTE (700 MHz, 10 MHz) — coverage layer
+//	C2: 3G UMTS (850 MHz, 5 MHz) — legacy layer
+//	C3: mid-band LTE (1900 MHz, 20 MHz) — main capacity layer
+//	C4: AWS LTE (2100 MHz, 10 MHz) — secondary capacity layer
+//	C5: new high-band LTE (2300 MHz, 20 MHz) — recent addition that
+//	    almost no car modem in the study supports (Table 3: 0.006%)
+//
+// The returned slice is freshly allocated; callers may modify it.
+func Carriers() []Carrier {
+	return []Carrier{
+		{ID: C1, Tech: Tech4G, BandMHz: 700, BandwidthMHz: 10, PRBs: 50},
+		{ID: C2, Tech: Tech3G, BandMHz: 850, BandwidthMHz: 5, PRBs: 25},
+		{ID: C3, Tech: Tech4G, BandMHz: 1900, BandwidthMHz: 20, PRBs: 100},
+		{ID: C4, Tech: Tech4G, BandMHz: 2100, BandwidthMHz: 10, PRBs: 50},
+		{ID: C5, Tech: Tech4G, BandMHz: 2300, BandwidthMHz: 20, PRBs: 100},
+	}
+}
+
+// CarrierByID returns the deployment descriptor for id. It panics for
+// an invalid id: carrier ids flow from trusted topology code, never
+// from external input.
+func CarrierByID(id CarrierID) Carrier {
+	if !id.Valid() {
+		panic(fmt.Sprintf("radio: invalid carrier id %d", id))
+	}
+	return Carriers()[id-C1]
+}
+
+// TechOf returns the radio technology of a carrier id.
+func TechOf(id CarrierID) Tech { return CarrierByID(id).Tech }

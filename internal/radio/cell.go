@@ -1,0 +1,110 @@
+package radio
+
+import "fmt"
+
+// BSID identifies a base station within a network.
+type BSID uint32
+
+// SectorID identifies a sector within a base station (0, 1, 2 for the
+// common three-sector layout).
+type SectorID uint8
+
+// CellKey compactly identifies a single cell — one (base station,
+// sector, carrier) triple — in a form cheap to store per CDR record
+// and usable as a map key. Layout, low to high bits:
+//
+//	bits 0–7   carrier id
+//	bits 8–15  sector id
+//	bits 16–47 base station id
+//
+// The zero CellKey is "no cell".
+type CellKey uint64
+
+// MakeCellKey packs a cell identity. It panics on an invalid carrier:
+// cell keys are constructed by topology code from validated parts.
+func MakeCellKey(bs BSID, sector SectorID, carrier CarrierID) CellKey {
+	if !carrier.Valid() {
+		panic(fmt.Sprintf("radio: invalid carrier %d in cell key", carrier))
+	}
+	return CellKey(uint64(carrier) | uint64(sector)<<8 | uint64(bs)<<16)
+}
+
+// BS returns the base station component.
+func (k CellKey) BS() BSID { return BSID(k >> 16) }
+
+// Sector returns the sector component.
+func (k CellKey) Sector() SectorID { return SectorID(k >> 8) }
+
+// Carrier returns the carrier component.
+func (k CellKey) Carrier() CarrierID { return CarrierID(k) }
+
+// IsZero reports whether the key is the "no cell" sentinel.
+func (k CellKey) IsZero() bool { return k == 0 }
+
+// String renders the key as bs/sector/carrier, e.g. "bs102/s1/C3".
+func (k CellKey) String() string {
+	return fmt.Sprintf("bs%d/s%d/%s", k.BS(), k.Sector(), k.Carrier())
+}
+
+// HandoverKind classifies a transition between two consecutive cell
+// connections of the same car, per the paper's §4.5 taxonomy.
+type HandoverKind uint8
+
+// Handover kinds, from most to least common in the study. The paper
+// finds inter-base-station handovers dominate, with the other three
+// "observed in negligible numbers".
+const (
+	// HandoverInterBS is a move between different base stations.
+	HandoverInterBS HandoverKind = iota
+	// HandoverInterTech is a move between radio technologies (3G/4G).
+	HandoverInterTech
+	// HandoverInterCarrier is a move between carriers of the same sector.
+	HandoverInterCarrier
+	// HandoverInterSector is a move between sectors of the same base station.
+	HandoverInterSector
+	// HandoverNone means the cell did not change.
+	HandoverNone
+)
+
+// NumHandoverKinds is the number of distinct HandoverKind values.
+const NumHandoverKinds = 5
+
+// String returns a short name for the handover kind.
+func (h HandoverKind) String() string {
+	switch h {
+	case HandoverInterBS:
+		return "inter-base-station"
+	case HandoverInterTech:
+		return "inter-technology"
+	case HandoverInterCarrier:
+		return "inter-carrier"
+	case HandoverInterSector:
+		return "inter-sector"
+	case HandoverNone:
+		return "none"
+	default:
+		return fmt.Sprintf("handover(%d)", uint8(h))
+	}
+}
+
+// ClassifyHandover classifies the transition from cell a to cell b
+// following the paper's §4.5 taxonomy: a base-station change is an
+// inter-BS handover regardless of carrier; within one base station a
+// technology change (3G/4G) is inter-technology, a carrier change
+// within the same sector is inter-carrier, and otherwise a sector
+// change is inter-sector.
+func ClassifyHandover(a, b CellKey) HandoverKind {
+	if a == b {
+		return HandoverNone
+	}
+	if a.BS() != b.BS() {
+		return HandoverInterBS
+	}
+	if TechOf(a.Carrier()) != TechOf(b.Carrier()) {
+		return HandoverInterTech
+	}
+	if a.Sector() == b.Sector() {
+		return HandoverInterCarrier
+	}
+	return HandoverInterSector
+}

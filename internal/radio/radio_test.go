@@ -1,0 +1,344 @@
+package radio
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cellcars/internal/geo"
+)
+
+func TestCarrierTable(t *testing.T) {
+	cs := Carriers()
+	if len(cs) != NumCarriers {
+		t.Fatalf("carriers = %d, want %d", len(cs), NumCarriers)
+	}
+	for i, c := range cs {
+		if c.ID != CarrierID(i+1) {
+			t.Fatalf("carrier %d has id %v", i, c.ID)
+		}
+		if c.PRBs <= 0 || c.BandwidthMHz <= 0 {
+			t.Fatalf("carrier %v has non-positive capacity", c.ID)
+		}
+	}
+	// C2 is the legacy 3G layer; everything else is LTE.
+	if TechOf(C2) != Tech3G {
+		t.Fatalf("C2 tech = %v", TechOf(C2))
+	}
+	for _, id := range []CarrierID{C1, C3, C4, C5} {
+		if TechOf(id) != Tech4G {
+			t.Fatalf("%v tech = %v, want 4G", id, TechOf(id))
+		}
+	}
+}
+
+func TestCarrierStrings(t *testing.T) {
+	if C3.String() != "C3" {
+		t.Fatalf("C3 = %q", C3.String())
+	}
+	if CarrierID(0).String() != "C?(0)" || CarrierID(9).Valid() {
+		t.Fatal("invalid carrier handling")
+	}
+	if Tech3G.String() != "3G" || Tech4G.String() != "4G" {
+		t.Fatal("tech names")
+	}
+	if Tech(9).String() != "tech(9)" {
+		t.Fatal("unknown tech name")
+	}
+}
+
+func TestCarrierByIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CarrierByID(CarrierID(0))
+}
+
+func TestCellKeyRoundTrip(t *testing.T) {
+	f := func(bs uint32, sector uint8, carrierRaw uint8) bool {
+		carrier := CarrierID(carrierRaw%NumCarriers) + C1
+		k := MakeCellKey(BSID(bs), SectorID(sector), carrier)
+		return k.BS() == BSID(bs) && k.Sector() == SectorID(sector) && k.Carrier() == carrier && !k.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellKeyString(t *testing.T) {
+	k := MakeCellKey(102, 1, C3)
+	if got := k.String(); got != "bs102/s1/C3" {
+		t.Fatalf("String = %q", got)
+	}
+	if !CellKey(0).IsZero() {
+		t.Fatal("zero key not IsZero")
+	}
+}
+
+func TestMakeCellKeyPanicsOnBadCarrier(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MakeCellKey(1, 0, CarrierID(0))
+}
+
+func TestClassifyHandover(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b CellKey
+		want HandoverKind
+	}{
+		{"same cell", MakeCellKey(1, 0, C1), MakeCellKey(1, 0, C1), HandoverNone},
+		{"different bs", MakeCellKey(1, 0, C1), MakeCellKey(2, 0, C1), HandoverInterBS},
+		{"different bs and carrier", MakeCellKey(1, 0, C1), MakeCellKey(2, 1, C3), HandoverInterBS},
+		{"3G to 4G same bs", MakeCellKey(1, 0, C2), MakeCellKey(1, 0, C3), HandoverInterTech},
+		{"carrier same sector", MakeCellKey(1, 0, C3), MakeCellKey(1, 0, C4), HandoverInterCarrier},
+		{"sector change", MakeCellKey(1, 0, C3), MakeCellKey(1, 1, C3), HandoverInterSector},
+		{"sector and carrier change", MakeCellKey(1, 0, C3), MakeCellKey(1, 1, C4), HandoverInterSector},
+	}
+	for _, c := range cases {
+		if got := ClassifyHandover(c.a, c.b); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHandoverKindString(t *testing.T) {
+	names := map[HandoverKind]string{
+		HandoverInterBS:      "inter-base-station",
+		HandoverInterTech:    "inter-technology",
+		HandoverInterCarrier: "inter-carrier",
+		HandoverInterSector:  "inter-sector",
+		HandoverNone:         "none",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d: %q, want %q", k, got, want)
+		}
+	}
+	if HandoverKind(200).String() != "handover(200)" {
+		t.Fatal("unknown handover name")
+	}
+}
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	return Build(Config{World: geo.DefaultWorld(40)}, rng)
+}
+
+func TestBuildBasicProperties(t *testing.T) {
+	n := testNetwork(t)
+	if n.NumStations() == 0 {
+		t.Fatal("no stations built")
+	}
+	if n.NumCells() < n.NumStations()*3 {
+		t.Fatalf("cells = %d for %d stations; every site needs >= 3 cells",
+			n.NumCells(), n.NumStations())
+	}
+	for i := range n.Stations {
+		s := &n.Stations[i]
+		if s.ID != BSID(i) {
+			t.Fatalf("station %d has id %d", i, s.ID)
+		}
+		if len(s.Carriers) == 0 {
+			t.Fatalf("station %d has no carriers", i)
+		}
+		if !n.World.Bounds.Contains(s.Loc) && n.World.Bounds.Clamp(s.Loc) != s.Loc {
+			t.Fatalf("station %d outside world: %v", i, s.Loc)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(Config{World: geo.DefaultWorld(30)}, rand.New(rand.NewPCG(5, 5)))
+	b := Build(Config{World: geo.DefaultWorld(30)}, rand.New(rand.NewPCG(5, 5)))
+	if a.NumStations() != b.NumStations() {
+		t.Fatalf("station counts differ: %d vs %d", a.NumStations(), b.NumStations())
+	}
+	for i := range a.Stations {
+		if a.Stations[i].Loc != b.Stations[i].Loc {
+			t.Fatalf("station %d at %v vs %v", i, a.Stations[i].Loc, b.Stations[i].Loc)
+		}
+	}
+}
+
+func TestBuildDensityGradient(t *testing.T) {
+	n := testNetwork(t)
+	counts := map[geo.Density]int{}
+	for i := range n.Stations {
+		counts[n.Stations[i].Density]++
+	}
+	if counts[geo.Urban] == 0 || counts[geo.Suburban] == 0 || counts[geo.Rural] == 0 {
+		t.Fatalf("expected all densities represented: %v", counts)
+	}
+	// Urban core is 1/25 of the area yet should hold a sizeable share of
+	// sites thanks to 1 km spacing vs 7 km rural spacing.
+	if counts[geo.Urban] < counts[geo.Rural]/4 {
+		t.Fatalf("urban density not reflected: %v", counts)
+	}
+}
+
+func TestBuildC5Sparse(t *testing.T) {
+	n := testNetwork(t)
+	withC5 := 0
+	for i := range n.Stations {
+		if n.Stations[i].HasCarrier(C5) {
+			withC5++
+		}
+	}
+	frac := float64(withC5) / float64(n.NumStations())
+	if frac > 0.3 {
+		t.Fatalf("C5 deployed at %.0f%% of sites; should be sparse", frac*100)
+	}
+}
+
+func TestNearestStation(t *testing.T) {
+	n := testNetwork(t)
+	probes := []geo.Point{
+		{X: 1, Y: 1}, {X: 20, Y: 20}, {X: 39, Y: 5}, {X: 15, Y: 33},
+	}
+	for _, p := range probes {
+		got := n.NearestStation(p)
+		// Brute force check.
+		best, bestD := BSID(0), n.Stations[0].Loc.Dist(p)
+		for i := range n.Stations {
+			if d := n.Stations[i].Loc.Dist(p); d < bestD {
+				best, bestD = n.Stations[i].ID, d
+			}
+		}
+		if n.Stations[got].Loc.Dist(p) > bestD+1e-9 {
+			t.Errorf("NearestStation(%v) = %d (d=%.3f), brute force %d (d=%.3f)",
+				p, got, n.Stations[got].Loc.Dist(p), best, bestD)
+		}
+	}
+}
+
+func TestNeighborsSortedAndExcludeSelf(t *testing.T) {
+	n := testNetwork(t)
+	for _, id := range []BSID{0, BSID(n.NumStations() / 2), BSID(n.NumStations() - 1)} {
+		nbrs := n.Neighbors(id)
+		if len(nbrs) == 0 {
+			t.Fatalf("station %d has no neighbours", id)
+		}
+		prev := -1.0
+		for _, nb := range nbrs {
+			if nb == id {
+				t.Fatalf("station %d lists itself as neighbour", id)
+			}
+			d := n.Stations[nb].Loc.Dist(n.Stations[id].Loc)
+			if d < prev-1e-9 {
+				t.Fatalf("station %d neighbours not sorted by distance", id)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestSectorToward(t *testing.T) {
+	bs := BaseStation{Loc: geo.Point{X: 0, Y: 0}, Sectors: 3}
+	seen := map[SectorID]bool{}
+	pts := []geo.Point{
+		{X: 1, Y: 0}, {X: -1, Y: 1}, {X: -1, Y: -1},
+		{X: 0, Y: 1}, {X: 0, Y: -1}, {X: 1, Y: 1},
+	}
+	for _, p := range pts {
+		s := bs.SectorToward(p)
+		if int(s) >= bs.Sectors {
+			t.Fatalf("sector %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("directions map to only %d sectors", len(seen))
+	}
+	one := BaseStation{Loc: geo.Point{X: 0, Y: 0}, Sectors: 1}
+	if one.SectorToward(geo.Point{X: 5, Y: 5}) != 0 {
+		t.Fatal("single-sector site must always return sector 0")
+	}
+}
+
+func TestStationCells(t *testing.T) {
+	bs := BaseStation{ID: 7, Sectors: 3, Carriers: []CarrierID{C1, C3}}
+	cells := bs.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+	seen := map[CellKey]bool{}
+	for _, c := range cells {
+		if c.BS() != 7 {
+			t.Fatalf("cell %v has wrong bs", c)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestBuildPanicsWithoutWorld(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(Config{}, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestAllCellsMatchesNumCells(t *testing.T) {
+	n := testNetwork(t)
+	if got := len(n.AllCells()); got != n.NumCells() {
+		t.Fatalf("AllCells = %d, NumCells = %d", got, n.NumCells())
+	}
+}
+
+// TestNearestKMatchesBruteForce verifies the spatial-grid k-nearest
+// query against a brute-force scan over many random probe points.
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	n := testNetwork(t)
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 150; trial++ {
+		p := geo.Point{
+			X: rng.Float64()*44 - 2, // includes points slightly outside the world
+			Y: rng.Float64()*44 - 2,
+		}
+		k := 1 + rng.IntN(6)
+		got := n.grid.nearestK(n.Stations, p, k)
+
+		type cand struct {
+			id BSID
+			d  float64
+		}
+		all := make([]cand, len(n.Stations))
+		for i := range n.Stations {
+			all[i] = cand{n.Stations[i].ID, n.Stations[i].Loc.Dist(p)}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		want := k
+		if want > len(all) {
+			want = len(all)
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), want)
+		}
+		for i := range got {
+			// Distances must match the brute-force ladder (ids may differ
+			// only on exact ties).
+			gd := n.Stations[got[i]].Loc.Dist(p)
+			if diff := gd - all[i].d; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d rank %d: grid %.6f vs brute %.6f (p=%v k=%d)",
+					trial, i, gd, all[i].d, p, k)
+			}
+		}
+	}
+}

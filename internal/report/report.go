@@ -1,0 +1,193 @@
+// Package report renders a full pipeline run as a Markdown document:
+// every table as a Markdown table, every figure as a fenced text plot,
+// with the paper's reference values alongside. The caranalyze tool
+// writes these documents; they are the durable artifact of a
+// reproduction run.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+	"cellcars/internal/textplot"
+)
+
+// Options controls document assembly.
+type Options struct {
+	// Title heads the document.
+	Title string
+	// SceneDescription is a one-line provenance note (fleet size, seed,
+	// window) printed under the title.
+	SceneDescription string
+	// Now stamps the document; pass a fixed time for reproducible
+	// output (library code never reads the wall clock itself).
+	Now time.Time
+}
+
+// Render produces the Markdown document for a report.
+func Render(r *analysis.Report, ctx analysis.Context, opts Options) string {
+	var b strings.Builder
+	title := opts.Title
+	if title == "" {
+		title = "Connected-car measurement report"
+	}
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	if opts.SceneDescription != "" {
+		fmt.Fprintf(&b, "%s\n\n", opts.SceneDescription)
+	}
+	if !opts.Now.IsZero() {
+		fmt.Fprintf(&b, "Generated %s.\n\n", opts.Now.UTC().Format(time.RFC3339))
+	}
+
+	fmt.Fprintf(&b, "## Preprocessing (§3)\n\n")
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| raw records | %d |\n", r.RawRecords)
+	fmt.Fprintf(&b, "| after ghost removal | %d |\n", r.CleanRecords)
+	fmt.Fprintf(&b, "| one-hour ghosts dropped | %d |\n\n", r.RawRecords-r.CleanRecords)
+
+	renderTable1(&b, r)
+	renderConnected(&b, r)
+	renderDaysHistogram(&b, r, ctx)
+	if len(r.Segments) > 0 {
+		renderSegmentation(&b, r)
+		renderBusyTime(&b, r)
+	}
+	renderDurations(&b, r)
+	renderHandovers(&b, r)
+	renderCarriers(&b, r)
+	if len(r.Clusters.Cells) > 0 {
+		renderClusters(&b, r)
+	}
+	return b.String()
+}
+
+func renderTable1(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Table 1 — daily presence by weekday (Figure 2)\n\n")
+	fmt.Fprintf(b, "Paper: Mon–Thu 78–80%% cars, Sat 70.3%%, Sun 67.4%%, overall 76.0%%.\n\n")
+	fmt.Fprintf(b, "| day | %%cells mean | %%cells std | %%cars mean | %%cars std |\n|---|---|---|---|---|\n")
+	for _, row := range r.WeekdayRows {
+		fmt.Fprintf(b, "| %s | %.1f%% | %.1f%% | %.1f%% | %.1f%% |\n",
+			row.Label, row.CellsMean*100, row.CellsStd*100, row.CarsMean*100, row.CarsStd*100)
+	}
+	fmt.Fprintf(b, "\nTrend lines: cars %.5f %+.6f/day (R²=%.3f); cells %.5f %+.6f/day (R²=%.3f).\n\n",
+		r.Presence.CarsTrend.Intercept, r.Presence.CarsTrend.Slope, r.Presence.CarsTrend.R2,
+		r.Presence.CellsTrend.Intercept, r.Presence.CellsTrend.Slope, r.Presence.CellsTrend.R2)
+}
+
+func renderConnected(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Figure 3 — total time on network\n\n")
+	fmt.Fprintf(b, "Paper: mean 8%% full / 4%% truncated; p99.5 27%% / 15%%.\n\n")
+	fmt.Fprintf(b, "| variant | mean | p99.5 |\n|---|---|---|\n")
+	fmt.Fprintf(b, "| full | %.2f%% | %.1f%% |\n", r.Connected.FullMean*100, r.Connected.FullP995*100)
+	fmt.Fprintf(b, "| truncated 600 s | %.2f%% | %.1f%% |\n\n", r.Connected.TruncMean*100, r.Connected.TruncP995*100)
+	if r.Connected.Truncated != nil && r.Connected.Truncated.N() > 1 {
+		xs, ps := r.Connected.Truncated.Points(64)
+		fmt.Fprintf(b, "```\n%s```\n\n", textplot.Chart("CDF of per-car connected share (truncated)", xs, ps, 64, 8))
+	}
+}
+
+func renderDaysHistogram(b *strings.Builder, r *analysis.Report, ctx analysis.Context) {
+	fmt.Fprintf(b, "## Figure 6 — days on network\n\n")
+	fmt.Fprintf(b, "Paper: sharp drop below 10 days, rising trend past 30.\n\n")
+	fmt.Fprintf(b, "```\n%s```\n\n",
+		textplot.Histogram(fmt.Sprintf("cars per day count (1..%d)", ctx.Period.Days()),
+			r.DaysHist.Counts, 64, 8))
+}
+
+func renderSegmentation(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Table 2 — car segmentation\n\n")
+	fmt.Fprintf(b, "Paper: rare ≤10 d 2.2%%, ≤30 d 9.9%%; busy column 0.4–1.3%%.\n\n")
+	fmt.Fprintf(b, "| segment | busy | non-busy | both | total |\n|---|---|---|---|---|\n")
+	for _, s := range r.Segments {
+		fmt.Fprintf(b, "| rare (≤ %d days) | %.1f%% | %.1f%% | %.1f%% | %.1f%% |\n",
+			s.RareDays, s.RareBusy*100, s.RareNonBusy*100, s.RareBoth*100, s.RareTotal()*100)
+		fmt.Fprintf(b, "| common (%d+ days) | %.1f%% | %.1f%% | %.1f%% | %.1f%% |\n",
+			s.RareDays, s.CommonBusy*100, s.CommonNonBusy*100, s.CommonBoth*100, s.CommonTotal()*100)
+	}
+	b.WriteString("\n")
+}
+
+func renderBusyTime(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Figure 7 — time in busy cells\n\n")
+	fmt.Fprintf(b, "Paper: ~2.4%% of cars over 50%%; ~1%% at ~100%%. Measured: %.2f%% over 50%%, %.2f%% at ~100%%.\n\n",
+		r.Busy.OverHalf*100, r.Busy.AllBusy*100)
+	h := r.Busy.Histogram7a()
+	fmt.Fprintf(b, "| busy-time decile | share of cars |\n|---|---|\n")
+	for i, v := range h {
+		fmt.Fprintf(b, "| %d–%d%% | %.2f%% |\n", i*10, (i+1)*10, v*100)
+	}
+	b.WriteString("\n")
+}
+
+func renderDurations(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Figure 9 — per-cell connection durations\n\n")
+	fmt.Fprintf(b, "Paper: median 105 s, p73 600 s, mean 625 s full / 238 s truncated.\n\n")
+	fmt.Fprintf(b, "| metric | measured |\n|---|---|\n")
+	fmt.Fprintf(b, "| median | %.0f s |\n| p73 | %.0f s |\n| mean full | %.0f s |\n| mean truncated | %.0f s |\n\n",
+		r.Durations.Median, r.Durations.P73, r.Durations.FullMean, r.Durations.TruncMean)
+}
+
+func renderHandovers(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## §4.5 — handovers per mobility session\n\n")
+	fmt.Fprintf(b, "Paper: median 2, p70 4, p90 9; inter-base-station dominant.\n\n")
+	fmt.Fprintf(b, "| metric | measured |\n|---|---|\n")
+	fmt.Fprintf(b, "| sessions | %d |\n| median | %.0f |\n| p70 | %.0f |\n| p90 | %.0f |\n| inter-BS share | %.1f%% |\n\n",
+		r.Handovers.Sessions, r.Handovers.Median, r.Handovers.P70, r.Handovers.P90,
+		r.Handovers.InterBSShare()*100)
+	fmt.Fprintf(b, "| kind | count |\n|---|---|\n")
+	for kind := radio.HandoverKind(0); kind < radio.NumHandoverKinds; kind++ {
+		if kind == radio.HandoverNone {
+			continue
+		}
+		fmt.Fprintf(b, "| %s | %d |\n", kind, r.Handovers.ByKind[kind])
+	}
+	b.WriteString("\n")
+}
+
+func renderCarriers(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Table 3 — carrier use\n\n")
+	fmt.Fprintf(b, "Paper: cars %% = 98.7/89.2/98.7/80.8/0.006; time %% = 18.6/7.4/51.9/22.1/0.0.\n\n")
+	fmt.Fprintf(b, "| carrier | C1 | C2 | C3 | C4 | C5 |\n|---|---|---|---|---|---|\n")
+	fmt.Fprintf(b, "| cars %% |")
+	for c := radio.C1; c <= radio.C5; c++ {
+		fmt.Fprintf(b, " %.3f |", r.Carriers.CarsFrac[c]*100)
+	}
+	fmt.Fprintf(b, "\n| time %% |")
+	for c := radio.C1; c <= radio.C5; c++ {
+		fmt.Fprintf(b, " %.3f |", r.Carriers.TimeFrac[c]*100)
+	}
+	b.WriteString("\n\n")
+}
+
+func renderClusters(b *strings.Builder, r *analysis.Report) {
+	fmt.Fprintf(b, "## Figure 11 — busy-radio clusters\n\n")
+	fmt.Fprintf(b, "Paper: two clusters; the hot one ~5× the concurrency, the quiet one ~4× the cells.\n\n")
+	fmt.Fprintf(b, "| cluster | cells | centroid peak (cars) |\n|---|---|---|\n")
+	for i := range r.Clusters.Sizes {
+		fmt.Fprintf(b, "| %d | %d | %.1f |\n", i+1, r.Clusters.Sizes[i], peakOf(r.Clusters.Centroids[i]))
+	}
+	fmt.Fprintf(b, "\nPeak ratio %.1f×.\n\n", r.Clusters.PeakRatio())
+	for i, c := range r.Clusters.Centroids {
+		xs := make([]float64, simtime.BinsPerDay)
+		for j := range xs {
+			xs[j] = float64(j) / 4
+		}
+		fmt.Fprintf(b, "```\n%s```\n\n", textplot.Chart(
+			fmt.Sprintf("cluster %d centroid (mean concurrent cars by hour of day)", i+1),
+			xs, c, 64, 6))
+	}
+}
+
+func peakOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,150 @@
+package simtime
+
+import "fmt"
+
+// WeekMatrix is a 24×7 hour-of-week accumulation matrix, the encoding
+// the paper uses for commute peaks, network peaks, weekend windows
+// (Fig 4) and per-car usage patterns (Fig 5). Rows are hours of the day
+// (0–23), columns are days of the week starting Monday. The zero value
+// is an empty matrix ready to use.
+type WeekMatrix struct {
+	cells [HoursPerDay * 7]float64
+}
+
+// At returns the accumulated value for the given hour (0–23) and
+// day-of-week column (0=Monday … 6=Sunday).
+func (m *WeekMatrix) At(hour, day int) float64 {
+	return m.cells[m.index(hour, day)]
+}
+
+// Add accumulates v into the cell for the given hour and day column.
+func (m *WeekMatrix) Add(hour, day int, v float64) {
+	m.cells[m.index(hour, day)] += v
+}
+
+// Set overwrites the cell for the given hour and day column.
+func (m *WeekMatrix) Set(hour, day int, v float64) {
+	m.cells[m.index(hour, day)] = v
+}
+
+// AddHourOfWeek accumulates v into the cell addressed by an hour-of-week
+// index in [0, 168) as produced by HourOfWeek.
+func (m *WeekMatrix) AddHourOfWeek(how int, v float64) {
+	if how < 0 || how >= HoursPerDay*7 {
+		panic(fmt.Sprintf("simtime: hour-of-week %d out of range", how))
+	}
+	day := how / 24
+	hour := how % 24
+	m.Add(hour, day, v)
+}
+
+func (m *WeekMatrix) index(hour, day int) int {
+	if hour < 0 || hour >= HoursPerDay || day < 0 || day >= 7 {
+		panic(fmt.Sprintf("simtime: matrix cell (%d,%d) out of range", hour, day))
+	}
+	return hour*7 + day
+}
+
+// Max returns the largest cell value, or 0 for an empty matrix.
+func (m *WeekMatrix) Max() float64 {
+	var max float64
+	for _, v := range m.cells {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Sum returns the total of all cells.
+func (m *WeekMatrix) Sum() float64 {
+	var s float64
+	for _, v := range m.cells {
+		s += v
+	}
+	return s
+}
+
+// Normalized returns a copy scaled so the largest cell is 1. An empty
+// matrix normalizes to itself.
+func (m *WeekMatrix) Normalized() WeekMatrix {
+	out := *m
+	max := m.Max()
+	if max == 0 {
+		return out
+	}
+	for i := range out.cells {
+		out.cells[i] /= max
+	}
+	return out
+}
+
+// Scale multiplies every cell by f in place.
+func (m *WeekMatrix) Scale(f float64) {
+	for i := range m.cells {
+		m.cells[i] *= f
+	}
+}
+
+// Merge adds every cell of other into m.
+func (m *WeekMatrix) Merge(other *WeekMatrix) {
+	for i := range m.cells {
+		m.cells[i] += other.cells[i]
+	}
+}
+
+// ActiveCells returns the number of cells with a value strictly above
+// threshold. The paper's "white box" (no connections that hour) test is
+// ActiveCells with threshold 0 against the total 168.
+func (m *WeekMatrix) ActiveCells(threshold float64) int {
+	n := 0
+	for _, v := range m.cells {
+		if v > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// DayVector is an accumulation over the BinsPerDay 15-minute bins of a
+// single day, used for per-cell daily load and concurrency curves.
+type DayVector [BinsPerDay]float64
+
+// WeekVector is an accumulation over the BinsPerWeek 15-minute bins of
+// a week (Monday-start). Figure 11's clustering runs over 96-bin
+// day-of-week-folded vectors; FoldToDay produces those.
+type WeekVector [BinsPerWeek]float64
+
+// FoldToDay sums the week vector into a 96-bin day vector, averaging
+// over the 7 days. This matches the paper's "96-sized vector" per radio
+// used as k-means input.
+func (w *WeekVector) FoldToDay() DayVector {
+	var d DayVector
+	for i, v := range w {
+		d[i%BinsPerDay] += v
+	}
+	for i := range d {
+		d[i] /= 7
+	}
+	return d
+}
+
+// Max returns the largest bin value.
+func (w *WeekVector) Max() float64 {
+	var max float64
+	for _, v := range w {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the average bin value.
+func (w *WeekVector) Mean() float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s / float64(len(w))
+}

@@ -1,0 +1,204 @@
+// Package simtime provides the time substrate for the connected-car
+// measurement pipeline: the fixed study window, the 15-minute binning
+// used for radio load and concurrency analyses, hour-of-week (24×7)
+// matrices, and simple local-time handling for cars in different
+// time zones.
+//
+// The paper analyzes a 90-day study period and aggregates most
+// network-side measurements into 15-minute bins (96 per day, 672 per
+// week). All library code takes explicit times; nothing reads the
+// wall clock.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// BinWidth is the width of a load/concurrency time bin. The paper uses
+// 15-minute bins for PRB utilization and car concurrency.
+const BinWidth = 15 * time.Minute
+
+// Bin layout constants derived from BinWidth.
+const (
+	BinsPerHour = int(time.Hour / BinWidth) // 4
+	BinsPerDay  = 24 * BinsPerHour          // 96
+	BinsPerWeek = 7 * BinsPerDay            // 672
+	HoursPerDay = 24                        //
+	DaySeconds  = int64(24 * time.Hour / time.Second)
+)
+
+// DefaultStudyDays is the length of the paper's measurement window.
+const DefaultStudyDays = 90
+
+// Period is a fixed study window starting at midnight UTC of Start and
+// spanning Days whole days. The zero Period is not valid; construct one
+// with NewPeriod.
+type Period struct {
+	start time.Time
+	days  int
+}
+
+// NewPeriod returns a study period of the given number of days starting
+// at midnight UTC on the day containing start. It panics if days is not
+// positive, mirroring the contract of time.Duration arithmetic rather
+// than returning an error: a non-positive study window is a programming
+// error, never a data condition.
+func NewPeriod(start time.Time, days int) Period {
+	if days <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive study length %d", days))
+	}
+	u := start.UTC()
+	mid := time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC)
+	return Period{start: mid, days: days}
+}
+
+// DefaultPeriod returns the 90-day study window used throughout the
+// reproduction. The concrete start date is arbitrary (the paper only
+// says "90-day period in 2017"); we pin it so that every run is
+// deterministic. January 2 2017 is a Monday, which makes weekday
+// indices easy to reason about in tests.
+func DefaultPeriod() Period {
+	return NewPeriod(time.Date(2017, time.January, 2, 0, 0, 0, 0, time.UTC), DefaultStudyDays)
+}
+
+// Start returns the first instant of the period (midnight UTC).
+func (p Period) Start() time.Time { return p.start }
+
+// End returns the first instant after the period.
+func (p Period) End() time.Time { return p.start.AddDate(0, 0, p.days) }
+
+// Days returns the number of whole days in the period.
+func (p Period) Days() int { return p.days }
+
+// Duration returns the total length of the period.
+func (p Period) Duration() time.Duration { return p.End().Sub(p.start) }
+
+// Seconds returns the total length of the period in seconds.
+func (p Period) Seconds() int64 { return int64(p.Duration() / time.Second) }
+
+// Contains reports whether t falls inside the period (start inclusive,
+// end exclusive).
+func (p Period) Contains(t time.Time) bool {
+	return !t.Before(p.start) && t.Before(p.End())
+}
+
+// Clamp trims the interval [t, t+d) to the period and returns the
+// clamped start and duration. The returned duration is zero when the
+// interval does not overlap the period.
+func (p Period) Clamp(t time.Time, d time.Duration) (time.Time, time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	end := t.Add(d)
+	if t.Before(p.start) {
+		t = p.start
+	}
+	if end.After(p.End()) {
+		end = p.End()
+	}
+	if !end.After(t) {
+		return t, 0
+	}
+	return t, end.Sub(t)
+}
+
+// DayIndex returns the zero-based day of the period containing t, or
+// -1 when t is outside the period.
+func (p Period) DayIndex(t time.Time) int {
+	if !p.Contains(t) {
+		return -1
+	}
+	return int(t.Sub(p.start) / (24 * time.Hour))
+}
+
+// DayStart returns the first instant of the zero-based day index. It
+// panics when the index is out of range.
+func (p Period) DayStart(day int) time.Time {
+	if day < 0 || day >= p.days {
+		panic(fmt.Sprintf("simtime: day index %d out of range [0,%d)", day, p.days))
+	}
+	return p.start.AddDate(0, 0, day)
+}
+
+// Weekday returns the weekday of the zero-based day index.
+func (p Period) Weekday(day int) time.Weekday {
+	return p.DayStart(day).Weekday()
+}
+
+// NumBins returns the number of 15-minute bins in the whole period.
+func (p Period) NumBins() int { return p.days * BinsPerDay }
+
+// BinIndex returns the zero-based 15-minute bin containing t, or -1
+// when t is outside the period.
+func (p Period) BinIndex(t time.Time) int {
+	if !p.Contains(t) {
+		return -1
+	}
+	return int(t.Sub(p.start) / BinWidth)
+}
+
+// BinStart returns the first instant of the zero-based bin index. It
+// panics when the index is out of range.
+func (p Period) BinStart(bin int) time.Time {
+	if bin < 0 || bin >= p.NumBins() {
+		panic(fmt.Sprintf("simtime: bin index %d out of range [0,%d)", bin, p.NumBins()))
+	}
+	return p.start.Add(time.Duration(bin) * BinWidth)
+}
+
+// BinRange returns the half-open range of bin indices overlapped by the
+// interval [t, t+d). Both bounds are clamped to the period; when the
+// interval does not overlap the period the returned range is empty
+// (first >= last).
+func (p Period) BinRange(t time.Time, d time.Duration) (first, last int) {
+	t, d = p.Clamp(t, d)
+	if d <= 0 {
+		return 0, 0
+	}
+	first = int(t.Sub(p.start) / BinWidth)
+	end := t.Add(d)
+	last = int((end.Sub(p.start) + BinWidth - 1) / BinWidth)
+	if last > p.NumBins() {
+		last = p.NumBins()
+	}
+	return first, last
+}
+
+// OverlapWithBin returns how much of the interval [t, t+d) falls inside
+// the given bin.
+func (p Period) OverlapWithBin(bin int, t time.Time, d time.Duration) time.Duration {
+	bs := p.BinStart(bin)
+	be := bs.Add(BinWidth)
+	s, e := t, t.Add(d)
+	if s.Before(bs) {
+		s = bs
+	}
+	if e.After(be) {
+		e = be
+	}
+	if !e.After(s) {
+		return 0
+	}
+	return e.Sub(s)
+}
+
+// WeekBin maps an instant to its bin-of-week in [0, BinsPerWeek), with
+// week starting on Monday to match the paper's 24×7 matrices (columns
+// M T W T F S S). The mapping uses the supplied fixed offset from UTC
+// in seconds so that a car's local time of day is honoured.
+func WeekBin(t time.Time, utcOffsetSeconds int) int {
+	lt := t.Add(time.Duration(utcOffsetSeconds) * time.Second)
+	wd := (int(lt.Weekday()) + 6) % 7 // Monday=0 ... Sunday=6
+	secOfDay := lt.Hour()*3600 + lt.Minute()*60 + lt.Second()
+	return wd*BinsPerDay + secOfDay/int(BinWidth/time.Second)
+}
+
+// HourOfWeek maps an instant to its hour-of-week in [0, 168) with the
+// week starting on Monday, using the supplied fixed offset from UTC in
+// seconds.
+func HourOfWeek(t time.Time, utcOffsetSeconds int) int {
+	lt := t.Add(time.Duration(utcOffsetSeconds) * time.Second)
+	wd := (int(lt.Weekday()) + 6) % 7
+	return wd*24 + lt.Hour()
+}

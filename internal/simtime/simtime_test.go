@@ -1,0 +1,285 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewPeriodMidnightAlignment(t *testing.T) {
+	p := NewPeriod(time.Date(2017, 3, 15, 13, 45, 12, 0, time.UTC), 10)
+	if got := p.Start(); got != time.Date(2017, 3, 15, 0, 0, 0, 0, time.UTC) {
+		t.Fatalf("start not aligned to midnight: %v", got)
+	}
+	if p.Days() != 10 {
+		t.Fatalf("days = %d, want 10", p.Days())
+	}
+	if got, want := p.End(), p.Start().AddDate(0, 0, 10); got != want {
+		t.Fatalf("end = %v, want %v", got, want)
+	}
+}
+
+func TestNewPeriodPanicsOnNonPositiveDays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for days=0")
+		}
+	}()
+	NewPeriod(time.Now(), 0)
+}
+
+func TestDefaultPeriodStartsMonday(t *testing.T) {
+	p := DefaultPeriod()
+	if p.Start().Weekday() != time.Monday {
+		t.Fatalf("default period starts on %v, want Monday", p.Start().Weekday())
+	}
+	if p.Days() != DefaultStudyDays {
+		t.Fatalf("default period is %d days, want %d", p.Days(), DefaultStudyDays)
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := DefaultPeriod()
+	cases := []struct {
+		t    time.Time
+		want bool
+	}{
+		{p.Start(), true},
+		{p.Start().Add(-time.Nanosecond), false},
+		{p.End().Add(-time.Nanosecond), true},
+		{p.End(), false},
+		{p.Start().AddDate(0, 0, 45), true},
+	}
+	for _, c := range cases {
+		if got := p.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDayIndexRoundTrip(t *testing.T) {
+	p := DefaultPeriod()
+	for day := 0; day < p.Days(); day += 7 {
+		start := p.DayStart(day)
+		if got := p.DayIndex(start); got != day {
+			t.Fatalf("DayIndex(DayStart(%d)) = %d", day, got)
+		}
+		if got := p.DayIndex(start.Add(23*time.Hour + 59*time.Minute)); got != day {
+			t.Fatalf("late-day index = %d, want %d", got, day)
+		}
+	}
+	if got := p.DayIndex(p.End()); got != -1 {
+		t.Fatalf("DayIndex(end) = %d, want -1", got)
+	}
+}
+
+func TestWeekdayProgression(t *testing.T) {
+	p := DefaultPeriod()
+	want := []time.Weekday{
+		time.Monday, time.Tuesday, time.Wednesday, time.Thursday,
+		time.Friday, time.Saturday, time.Sunday, time.Monday,
+	}
+	for i, w := range want {
+		if got := p.Weekday(i); got != w {
+			t.Fatalf("Weekday(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBinIndexAndStart(t *testing.T) {
+	p := DefaultPeriod()
+	if p.NumBins() != 90*96 {
+		t.Fatalf("NumBins = %d, want %d", p.NumBins(), 90*96)
+	}
+	for _, bin := range []int{0, 1, 95, 96, 97, p.NumBins() - 1} {
+		start := p.BinStart(bin)
+		if got := p.BinIndex(start); got != bin {
+			t.Fatalf("BinIndex(BinStart(%d)) = %d", bin, got)
+		}
+		if got := p.BinIndex(start.Add(14*time.Minute + 59*time.Second)); got != bin {
+			t.Fatalf("BinIndex at bin end = %d, want %d", got, bin)
+		}
+	}
+}
+
+func TestBinRange(t *testing.T) {
+	p := DefaultPeriod()
+	cases := []struct {
+		name        string
+		start       time.Time
+		d           time.Duration
+		first, last int
+	}{
+		{"one bin interior", p.Start().Add(5 * time.Minute), 5 * time.Minute, 0, 1},
+		{"exactly one bin", p.Start(), BinWidth, 0, 1},
+		{"straddles two bins", p.Start().Add(10 * time.Minute), 10 * time.Minute, 0, 2},
+		{"full day", p.Start(), 24 * time.Hour, 0, 96},
+		{"before period", p.Start().Add(-2 * time.Hour), time.Hour, 0, 0},
+		{"clamped at end", p.End().Add(-time.Minute), time.Hour, p.NumBins() - 1, p.NumBins()},
+	}
+	for _, c := range cases {
+		first, last := p.BinRange(c.start, c.d)
+		if first != c.first || last != c.last {
+			t.Errorf("%s: BinRange = [%d,%d), want [%d,%d)", c.name, first, last, c.first, c.last)
+		}
+	}
+}
+
+func TestBinRangeCoversDurationProperty(t *testing.T) {
+	p := DefaultPeriod()
+	// The sum of per-bin overlaps over the returned bin range must equal
+	// the clamped duration, for any interval.
+	f := func(startOffsetMin uint32, durMin uint16) bool {
+		start := p.Start().Add(time.Duration(startOffsetMin%200000) * time.Minute)
+		d := time.Duration(durMin%2000) * time.Minute
+		_, clamped := p.Clamp(start, d)
+		first, last := p.BinRange(start, d)
+		var sum time.Duration
+		for b := first; b < last; b++ {
+			sum += p.OverlapWithBin(b, start, d)
+		}
+		return sum == clamped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	p := DefaultPeriod()
+	start, d := p.Clamp(p.Start().Add(-time.Hour), 2*time.Hour)
+	if start != p.Start() || d != time.Hour {
+		t.Fatalf("clamp before start: got (%v,%v)", start, d)
+	}
+	start, d = p.Clamp(p.End().Add(-time.Minute), time.Hour)
+	if d != time.Minute {
+		t.Fatalf("clamp at end: duration %v, want 1m", d)
+	}
+	_, d = p.Clamp(p.End().Add(time.Hour), time.Hour)
+	if d != 0 {
+		t.Fatalf("clamp outside: duration %v, want 0", d)
+	}
+	_, d = p.Clamp(p.Start(), -time.Minute)
+	if d != 0 {
+		t.Fatalf("negative duration clamps to %v, want 0", d)
+	}
+}
+
+func TestWeekBinMondayStart(t *testing.T) {
+	// 2017-01-02 is a Monday.
+	mon := time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC)
+	if got := WeekBin(mon, 0); got != 0 {
+		t.Fatalf("Monday 00:00 week bin = %d, want 0", got)
+	}
+	if got := WeekBin(mon.Add(15*time.Minute), 0); got != 1 {
+		t.Fatalf("Monday 00:15 week bin = %d, want 1", got)
+	}
+	sun := mon.AddDate(0, 0, 6).Add(23*time.Hour + 45*time.Minute)
+	if got := WeekBin(sun, 0); got != BinsPerWeek-1 {
+		t.Fatalf("Sunday 23:45 week bin = %d, want %d", got, BinsPerWeek-1)
+	}
+}
+
+func TestWeekBinHonoursUTCOffset(t *testing.T) {
+	// Monday 02:00 UTC is Sunday 21:00 in UTC-5.
+	mon := time.Date(2017, 1, 2, 2, 0, 0, 0, time.UTC)
+	got := WeekBin(mon, -5*3600)
+	want := 6*BinsPerDay + 21*BinsPerHour
+	if got != want {
+		t.Fatalf("WeekBin with UTC-5 = %d, want %d", got, want)
+	}
+}
+
+func TestHourOfWeek(t *testing.T) {
+	mon := time.Date(2017, 1, 2, 7, 30, 0, 0, time.UTC)
+	if got := HourOfWeek(mon, 0); got != 7 {
+		t.Fatalf("Monday 07:30 hour-of-week = %d, want 7", got)
+	}
+	if got := HourOfWeek(mon, -8*3600); got != 6*24+23 {
+		t.Fatalf("UTC-8 hour-of-week = %d, want %d", got, 6*24+23)
+	}
+}
+
+func TestWeekMatrixBasics(t *testing.T) {
+	var m WeekMatrix
+	m.Add(7, 0, 2)
+	m.Add(7, 0, 3)
+	m.Add(23, 6, 1)
+	if got := m.At(7, 0); got != 5 {
+		t.Fatalf("At(7,0) = %v, want 5", got)
+	}
+	if got := m.Max(); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := m.Sum(); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	if got := m.ActiveCells(0); got != 2 {
+		t.Fatalf("ActiveCells = %d, want 2", got)
+	}
+	n := m.Normalized()
+	if n.At(7, 0) != 1 || n.At(23, 6) != 0.2 {
+		t.Fatalf("Normalized = %v / %v", n.At(7, 0), n.At(23, 6))
+	}
+	// Normalizing must not mutate the original.
+	if m.At(7, 0) != 5 {
+		t.Fatal("Normalized mutated receiver")
+	}
+}
+
+func TestWeekMatrixAddHourOfWeek(t *testing.T) {
+	var m WeekMatrix
+	m.AddHourOfWeek(0, 1)       // Monday hour 0
+	m.AddHourOfWeek(24+5, 2)    // Tuesday hour 5
+	m.AddHourOfWeek(6*24+23, 4) // Sunday hour 23
+	if m.At(0, 0) != 1 || m.At(5, 1) != 2 || m.At(23, 6) != 4 {
+		t.Fatalf("unexpected matrix contents: %v %v %v", m.At(0, 0), m.At(5, 1), m.At(23, 6))
+	}
+}
+
+func TestWeekMatrixMergeScale(t *testing.T) {
+	var a, b WeekMatrix
+	a.Set(1, 1, 2)
+	b.Set(1, 1, 3)
+	b.Set(2, 2, 4)
+	a.Merge(&b)
+	if a.At(1, 1) != 5 || a.At(2, 2) != 4 {
+		t.Fatalf("merge failed: %v %v", a.At(1, 1), a.At(2, 2))
+	}
+	a.Scale(0.5)
+	if a.At(1, 1) != 2.5 {
+		t.Fatalf("scale failed: %v", a.At(1, 1))
+	}
+}
+
+func TestWeekMatrixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var m WeekMatrix
+	m.At(24, 0)
+}
+
+func TestWeekVectorFoldToDay(t *testing.T) {
+	var w WeekVector
+	// Put 7 in the same bin-of-day on every day; fold should average to 7.
+	for d := 0; d < 7; d++ {
+		w[d*BinsPerDay+10] = 7
+	}
+	day := w.FoldToDay()
+	if day[10] != 7 {
+		t.Fatalf("fold bin 10 = %v, want 7", day[10])
+	}
+	if day[11] != 0 {
+		t.Fatalf("fold bin 11 = %v, want 0", day[11])
+	}
+	if w.Max() != 7 {
+		t.Fatalf("Max = %v", w.Max())
+	}
+	wantMean := 7.0 * 7 / float64(BinsPerWeek)
+	if diff := w.Mean() - wantMean; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Mean = %v, want %v", w.Mean(), wantMean)
+	}
+}

@@ -1,0 +1,314 @@
+// Package stats provides the statistics substrate for the measurement
+// pipeline: streaming moments, empirical CDFs and quantiles, fixed-width
+// histograms, simple linear regression (the trend lines of Figure 2),
+// and k-means clustering (Figure 11).
+//
+// Everything here is deterministic; the only stochastic routine,
+// k-means++ seeding, takes an explicit random source.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments accumulates count, mean and variance online using Welford's
+// algorithm, so a single pass over arbitrarily many records needs O(1)
+// memory. The zero value is an empty accumulator ready to use.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add accumulates one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the population variance, or 0 with fewer than two
+// observations.
+func (m *Moments) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// SampleVar returns the sample (Bessel-corrected) variance.
+func (m *Moments) SampleVar() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// SampleStdDev returns the sample standard deviation, which is what the
+// paper's Table 1 reports for day-of-week variability.
+func (m *Moments) SampleStdDev() float64 { return math.Sqrt(m.SampleVar()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (m *Moments) Max() float64 { return m.max }
+
+// Merge combines another accumulator into m (parallel Welford merge).
+func (m *Moments) Merge(o *Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n = n
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the data using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// The slice is sorted in place. It panics on an empty slice or a
+// quantile outside [0, 1]: both indicate a caller bug, not a data
+// condition.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		sort.Float64s(sorted)
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Deciles returns the 11 values at quantiles 0, 0.1, …, 1.0, the
+// summary the paper plots in Figure 7.
+func Deciles(values []float64) [11]float64 {
+	var out [11]float64
+	if len(values) == 0 {
+		return out
+	}
+	sort.Float64s(values)
+	for i := 0; i <= 10; i++ {
+		out[i] = Quantile(values, float64(i)/10)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of values, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// CDF is an empirical cumulative distribution over a fixed sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample. The input slice is
+// copied, then sorted.
+func NewCDF(values []float64) *CDF {
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x), the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; walk
+	// forward over equal values to make the CDF right-continuous.
+	for idx < len(c.sorted) && c.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (c *CDF) Quantile(q float64) float64 { return Quantile(c.sorted, q) }
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 { return Mean(c.sorted) }
+
+// Points samples the CDF at n evenly spaced x positions across the data
+// range, returning (x, P(X≤x)) pairs for plotting. n must be at least 2.
+func (c *CDF) Points(n int) (xs, ps []float64) {
+	if n < 2 {
+		panic("stats: CDF.Points needs n >= 2")
+	}
+	if len(c.sorted) == 0 {
+		return nil, nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}
+
+// Histogram counts observations into fixed-width bins covering
+// [Lo, Lo + Width·len(Counts)). Out-of-range observations are counted
+// in Under/Over.
+type Histogram struct {
+	Lo     float64
+	Width  float64
+	Counts []int64
+	Under  int64
+	Over   int64
+}
+
+// NewHistogram creates a histogram with nbins bins of the given width
+// starting at lo. It panics when nbins or width is not positive.
+func NewHistogram(lo, width float64, nbins int) *Histogram {
+	if nbins <= 0 || width <= 0 {
+		panic("stats: histogram needs positive bins and width")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int64, nbins)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	bin := int((x - h.Lo) / h.Width)
+	if bin >= len(h.Counts) {
+		h.Over++
+		return
+	}
+	h.Counts[bin]++
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// MaxCount returns the largest bin count.
+func (h *Histogram) MaxCount() int64 {
+	var m int64
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + h.Width*(float64(i)+0.5)
+}
+
+// LinReg holds an ordinary-least-squares fit y = Intercept + Slope·x,
+// with the coefficient of determination R². Figure 2's trend lines are
+// this fit over day index vs daily percentage.
+type LinReg struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// Fit computes the least-squares line through the points (xs[i], ys[i]).
+// It panics when the slices differ in length; it returns a degenerate
+// flat fit when there are fewer than two points or x has no variance.
+func Fit(xs, ys []float64) LinReg {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Fit length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return LinReg{}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinReg{Intercept: my, N: n}
+	}
+	slope := sxy / sxx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return LinReg{Slope: slope, Intercept: my - slope*mx, R2: r2, N: n}
+}
+
+// Predict evaluates the fitted line at x.
+func (l LinReg) Predict(x float64) float64 { return l.Intercept + l.Slope*x }

@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/simtime"
+)
+
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultConfig(120)
+	cfg.WorldSizeKm = 40
+	cfg.Period = simtime.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 7)
+
+	seq := NewWorld(cfg)
+	var seqOut cdr.SliceWriter
+	seqStats, err := seq.Generate(&seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewWorld(cfg)
+	var parOut cdr.SliceWriter
+	parStats, err := par.GenerateParallel(&parOut, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seqStats != parStats {
+		t.Fatalf("stats differ:\nseq %+v\npar %+v", seqStats, parStats)
+	}
+	if len(seqOut.Records) != len(parOut.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(seqOut.Records), len(parOut.Records))
+	}
+	for i := range seqOut.Records {
+		if seqOut.Records[i] != parOut.Records[i] {
+			t.Fatalf("record %d differs:\nseq %+v\npar %+v", i, seqOut.Records[i], parOut.Records[i])
+		}
+	}
+}
+
+func TestGenerateParallelSingleWorkerFallsBack(t *testing.T) {
+	cfg := DefaultConfig(20)
+	cfg.WorldSizeKm = 40
+	cfg.Period = simtime.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 3)
+	w := NewWorld(cfg)
+	var out cdr.SliceWriter
+	stats, err := w.GenerateParallel(&out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records == 0 || int64(len(out.Records)) != stats.Records {
+		t.Fatalf("fallback stats: %+v with %d records", stats, len(out.Records))
+	}
+}
+
+// failingWriter errors after n writes.
+type failingWriter struct {
+	n int
+}
+
+func (f *failingWriter) Write(cdr.Record) error {
+	f.n--
+	if f.n < 0 {
+		return errWrite
+	}
+	return nil
+}
+
+var errWrite = errTest("write failed")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestGenerateParallelPropagatesWriteError(t *testing.T) {
+	cfg := DefaultConfig(50)
+	cfg.WorldSizeKm = 40
+	cfg.Period = simtime.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 3)
+	w := NewWorld(cfg)
+	_, err := w.GenerateParallel(&failingWriter{n: 10}, 4)
+	if err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

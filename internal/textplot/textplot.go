@@ -1,0 +1,306 @@
+// Package textplot renders the paper's figures as plain-text plots:
+// CDF line charts, histograms, 24×7 heat matrices, weekly impulse
+// series against load curves, and per-cell connection timelines. Every
+// benchmark and CLI tool prints through this package so a reproduction
+// run is inspectable in a terminal or a log file.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades orders glyphs from empty to full for heat rendering.
+var shades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// shade maps v in [0,1] to a glyph.
+func shade(v float64) rune {
+	if math.IsNaN(v) || v <= 0 {
+		return shades[0]
+	}
+	if v >= 1 {
+		return shades[len(shades)-1]
+	}
+	return shades[int(v*float64(len(shades)-1)+0.5)]
+}
+
+// Chart renders y = f(x) as an ASCII line chart of the given width and
+// height (interior plot area), with axis labels. xs must be
+// non-decreasing; xs and ys must be the same non-zero length.
+func Chart(title string, xs, ys []float64, width, height int) string {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return title + ": (no data)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	// Sample one column at a time from the series by linear scan.
+	j := 0
+	for c := 0; c < width; c++ {
+		x := minX + (maxX-minX)*float64(c)/float64(width-1)
+		for j < len(xs)-1 && xs[j+1] <= x {
+			j++
+		}
+		y := ys[j]
+		if j < len(xs)-1 && xs[j+1] > xs[j] {
+			frac := (x - xs[j]) / (xs[j+1] - xs[j])
+			if frac > 0 && frac <= 1 {
+				y = ys[j] + (ys[j+1]-ys[j])*frac
+			}
+		}
+		row := int((y - minY) / (maxY - minY) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[height-1-row][c] = '*'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "        %-*.4g%*.4g\n", width/2+1, minX, width/2+1, maxX)
+	return b.String()
+}
+
+// Matrix renders a 24×7 hour-of-week matrix as the paper draws them:
+// hours down the side (0–23), days across the top (M T W T F S S),
+// darker glyphs for larger values (normalized to the matrix max).
+type MatrixData interface {
+	At(hour, day int) float64
+	Max() float64
+}
+
+// Matrix renders m with a title.
+func Matrix(title string, m MatrixData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	b.WriteString("      M  T  W  T  F  S  S\n")
+	max := m.Max()
+	for hour := 0; hour < 24; hour++ {
+		fmt.Fprintf(&b, "  %2d ", hour)
+		for day := 0; day < 7; day++ {
+			v := 0.0
+			if max > 0 {
+				v = m.At(hour, day) / max
+			}
+			g := shade(v)
+			fmt.Fprintf(&b, " %c%c", g, g)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Bars renders labelled horizontal bars scaled to the largest value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 4 {
+		width = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(values) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	max := values[0]
+	for _, v := range values {
+		max = math.Max(max, v)
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-12s |%s %.4g\n", label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Histogram renders counts as vertical proportions per bin, collapsed
+// into at most width columns.
+func Histogram(title string, counts []int64, width, height int) string {
+	if len(counts) == 0 {
+		return title + ": (no data)\n"
+	}
+	if width <= 0 || width > len(counts) {
+		width = len(counts)
+	}
+	if height < 2 {
+		height = 2
+	}
+	// Aggregate bins into columns.
+	cols := make([]float64, width)
+	per := float64(len(counts)) / float64(width)
+	for i, c := range counts {
+		cols[int(float64(i)/per)] += float64(c)
+	}
+	max := 0.0
+	for _, v := range cols {
+		max = math.Max(max, v)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max column %g)\n", title, max)
+	for r := height; r >= 1; r-- {
+		thresh := max * float64(r) / float64(height)
+		b.WriteString("  |")
+		for _, v := range cols {
+			if v >= thresh && v > 0 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "  +%s+\n", strings.Repeat("-", width))
+	return b.String()
+}
+
+// WeekSeries renders the Figure 10 composite: per-15-minute-bin
+// concurrency impulses (columns) with the utilization curve overlaid
+// as 'o' marks, one row block per height level, collapsed to the given
+// width. Both series must have the same length.
+func WeekSeries(title string, concurrency, utilization []float64, width, height int) string {
+	if len(concurrency) != len(utilization) || len(concurrency) == 0 {
+		return title + ": (no data)\n"
+	}
+	if width <= 0 || width > len(concurrency) {
+		width = len(concurrency)
+	}
+	if height < 3 {
+		height = 3
+	}
+	conc := resampleMax(concurrency, width)
+	util := resampleMax(utilization, width)
+	maxC := 0.0
+	for _, v := range conc {
+		maxC = math.Max(maxC, v)
+	}
+	if maxC == 0 {
+		maxC = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (impulses: cars, max %.0f; 'o': UPRB 0-100%%)\n", title, maxC)
+	for r := height; r >= 1; r-- {
+		cThresh := maxC * (float64(r) - 0.5) / float64(height)
+		b.WriteString("  |")
+		for c := 0; c < width; c++ {
+			uRow := int(util[c]*float64(height)+0.5) == r
+			switch {
+			case uRow:
+				b.WriteByte('o')
+			case conc[c] >= cThresh && conc[c] > 0:
+				b.WriteByte('#')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "  +%s+\n", strings.Repeat("-", width))
+	// Day ticks for a 672-bin week.
+	if len(concurrency)%7 == 0 {
+		per := width / 7
+		b.WriteString("   ")
+		for _, d := range []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"} {
+			fmt.Fprintf(&b, "%-*s", per, d)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// resampleMax shrinks xs to n columns, taking the max within each.
+func resampleMax(xs []float64, n int) []float64 {
+	out := make([]float64, n)
+	per := float64(len(xs)) / float64(n)
+	for i, v := range xs {
+		c := int(float64(i) / per)
+		if c >= n {
+			c = n - 1
+		}
+		out[c] = math.Max(out[c], v)
+	}
+	return out
+}
+
+// Timeline renders the Figure 8 exhibit: one row per car, '#' where
+// the car is connected, over a 24-hour window split into width
+// columns. spans is a per-car list of [startFrac, endFrac] pairs in
+// [0,1] day fractions; rows beyond maxRows are elided with a note.
+func Timeline(title string, spans [][][2]float64, width, maxRows int) string {
+	if width < 24 {
+		width = 24
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d cars)\n", title, len(spans))
+	rows := len(spans)
+	elided := 0
+	if maxRows > 0 && rows > maxRows {
+		elided = rows - maxRows
+		rows = maxRows
+	}
+	for i := 0; i < rows; i++ {
+		line := make([]byte, width)
+		for j := range line {
+			line[j] = ' '
+		}
+		for _, sp := range spans[i] {
+			lo := int(sp[0] * float64(width))
+			hi := int(sp[1]*float64(width)) + 1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > width {
+				hi = width
+			}
+			for j := lo; j < hi; j++ {
+				line[j] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "  |%s|\n", line)
+	}
+	if elided > 0 {
+		fmt.Fprintf(&b, "  ... %d more cars ...\n", elided)
+	}
+	fmt.Fprintf(&b, "  +%s+\n   0:00%s24:00\n", strings.Repeat("-", width),
+		strings.Repeat(" ", width-9))
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"cellcars/internal/simtime"
+)
+
+func TestShade(t *testing.T) {
+	if shade(0) != ' ' || shade(-1) != ' ' {
+		t.Fatal("zero shade")
+	}
+	if shade(1) != '@' || shade(2) != '@' {
+		t.Fatal("full shade")
+	}
+	mid := shade(0.5)
+	if mid == ' ' || mid == '@' {
+		t.Fatalf("mid shade = %c", mid)
+	}
+}
+
+func TestChart(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 0.25, 0.5, 0.75, 1}
+	out := Chart("cdf", xs, ys, 40, 10)
+	if !strings.Contains(out, "cdf") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points drawn")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart height = %d lines", len(lines))
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	if out := Chart("x", nil, nil, 10, 5); !strings.Contains(out, "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	if out := Chart("x", []float64{1}, []float64{2}, 10, 5); !strings.Contains(out, "*") {
+		t.Fatal("single point should still draw")
+	}
+	// Flat series must not divide by zero.
+	out := Chart("flat", []float64{0, 1}, []float64{3, 3}, 10, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series should draw")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	var m simtime.WeekMatrix
+	m.Set(7, 0, 10)
+	m.Set(17, 4, 5)
+	out := Matrix("usage", &m)
+	if !strings.Contains(out, "M  T  W  T  F  S  S") {
+		t.Fatal("missing day header")
+	}
+	if !strings.Contains(out, "@@") {
+		t.Fatal("max cell not rendered dark")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 26 { // title + header + 24 hours
+		t.Fatalf("matrix lines = %d", len(lines))
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	var m simtime.WeekMatrix
+	out := Matrix("empty", &m)
+	if strings.Contains(out, "@") {
+		t.Fatal("empty matrix should have no dark cells")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("carriers", []string{"C1", "C2"}, []float64{0.2, 0.8}, 20)
+	if !strings.Contains(out, "C1") || !strings.Contains(out, "C2") {
+		t.Fatal("missing labels")
+	}
+	// The larger value draws the longer bar.
+	lines := strings.Split(out, "\n")
+	c1 := strings.Count(lines[1], "#")
+	c2 := strings.Count(lines[2], "#")
+	if c2 <= c1 {
+		t.Fatalf("bar lengths %d vs %d", c1, c2)
+	}
+	if out := Bars("none", nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Fatal("empty bars should say so")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := []int64{1, 5, 10, 5, 1}
+	out := Histogram("days", counts, 5, 4)
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars")
+	}
+	if !strings.Contains(out, "max column 10") {
+		t.Fatal("missing max annotation")
+	}
+	if out := Histogram("none", nil, 5, 4); !strings.Contains(out, "no data") {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestWeekSeries(t *testing.T) {
+	conc := make([]float64, simtime.BinsPerWeek)
+	util := make([]float64, simtime.BinsPerWeek)
+	for i := range conc {
+		if i%96 == 48 {
+			conc[i] = 12
+		}
+		util[i] = 0.5
+	}
+	out := WeekSeries("cell", conc, util, 96, 6)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "o") {
+		t.Fatal("missing impulses or load curve")
+	}
+	if !strings.Contains(out, "Mon") || !strings.Contains(out, "Sun") {
+		t.Fatal("missing day ticks")
+	}
+	if out := WeekSeries("bad", conc, util[:10], 96, 6); !strings.Contains(out, "no data") {
+		t.Fatal("length mismatch should be reported")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	spans := [][][2]float64{
+		{{0.0, 0.1}},
+		{{0.5, 0.6}, {0.8, 0.9}},
+		{{0.95, 1.0}},
+	}
+	out := Timeline("cell day", spans, 48, 2)
+	if !strings.Contains(out, "3 cars") {
+		t.Fatal("missing car count")
+	}
+	if !strings.Contains(out, "... 1 more cars ...") {
+		t.Fatal("missing elision note")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no spans drawn")
+	}
+	if !strings.Contains(out, "0:00") || !strings.Contains(out, "24:00") {
+		t.Fatal("missing time axis")
+	}
+}
+
+func TestResampleMax(t *testing.T) {
+	xs := []float64{1, 9, 2, 2, 5, 5}
+	out := resampleMax(xs, 3)
+	if len(out) != 3 || out[0] != 9 || out[1] != 2 || out[2] != 5 {
+		t.Fatalf("resample = %v", out)
+	}
+}

@@ -1,0 +1,48 @@
+package cellcars
+
+import (
+	"math/rand/v2"
+
+	"cellcars/internal/predict"
+)
+
+// Appearance prediction (the per-car models §4.7 calls for).
+type (
+	// CarProfile is a car's learned weekly appearance profile with a
+	// predictability score in [0, 1].
+	CarProfile = predict.Profile
+	// PredictOutcome is a backtest confusion matrix.
+	PredictOutcome = predict.Outcome
+	// FleetPrediction aggregates a population backtest, split by
+	// predictability quartile.
+	FleetPrediction = predict.FleetResult
+	// CarCluster is one behavioural group from profile clustering.
+	CarCluster = predict.CarCluster
+)
+
+// LearnProfile builds a car's weekly appearance profile from its
+// records over the first trainWeeks of the period.
+func LearnProfile(records []Record, ctx Context, trainWeeks int) CarProfile {
+	return predict.Learn(records, ctx.Period, ctx.TZOffsetSeconds, trainWeeks)
+}
+
+// BacktestCar trains on the first trainWeeks and scores hourly
+// presence prediction over the following evalWeeks at the given
+// frequency threshold.
+func BacktestCar(records []Record, ctx Context, trainWeeks, evalWeeks int, threshold float64) PredictOutcome {
+	return predict.Backtest(records, ctx.Period, ctx.TZOffsetSeconds, trainWeeks, evalWeeks, threshold)
+}
+
+// BacktestFleet runs BacktestCar for every car in the stream and
+// aggregates by predictability quartile.
+func BacktestFleet(records []Record, ctx Context, trainWeeks, evalWeeks int, threshold float64) FleetPrediction {
+	return predict.BacktestFleet(records, ctx.Period, ctx.TZOffsetSeconds, trainWeeks, evalWeeks, threshold)
+}
+
+// ClusterCars groups cars by their weekly appearance profiles with
+// k-means (the behavioural clustering promised in the paper's
+// introduction). seed drives k-means++ initialization.
+func ClusterCars(records []Record, ctx Context, trainWeeks, k int, seed uint64) []CarCluster {
+	rng := rand.New(rand.NewPCG(seed, 0xC1A5))
+	return predict.ClusterCars(records, ctx.Period, ctx.TZOffsetSeconds, trainWeeks, k, rng)
+}
