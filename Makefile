@@ -1,0 +1,26 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz runs over the codec entry points; go test accepts one
+# -fuzz pattern per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test ./internal/cdr -run='^$$' -fuzz=FuzzCSVReader -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cdr -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME)
+
+ci: vet build race fuzz-smoke

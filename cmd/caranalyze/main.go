@@ -39,6 +39,11 @@ func main() {
 		tz     = flag.Int("tz", -5, "local-time offset from UTC in hours")
 		md     = flag.String("md", "", "also write a Markdown report to this file")
 		stream = flag.Bool("stream", false, "with -in: single-pass bounded-memory analysis")
+
+		strict     = flag.Bool("strict", false, "with -in: abort on the first malformed record")
+		quarantine = flag.String("quarantine", "", "with -in: write quarantined records to this file (TSV)")
+		budget     = flag.Float64("budget", 1.0, "with -in: error budget, max % of malformed records before aborting (0 aborts on the first, negative disables)")
+		failStage  = flag.String("failstage", "", "chaos hook: artificially fail the named analysis stage")
 	)
 	flag.Parse()
 
@@ -48,23 +53,64 @@ func main() {
 	}
 	period := simtime.NewPeriod(startDay, *days)
 
+	// Resilient ingest: quarantine malformed records instead of dying
+	// on them, within an error budget. Records dated far outside the
+	// study window are treated as corrupt too (a week of slack keeps
+	// boundary spillover out of quarantine).
+	ingest := cdr.ResilientConfig{
+		// A zero budget means zero tolerance, not "use the default":
+		// the first malformed record aborts, same as -strict.
+		Strict:     *strict || *budget == 0,
+		MaxBadFrac: *budget / 100,
+		MinStart:   period.Start().AddDate(0, 0, -7),
+		MaxStart:   period.End().AddDate(0, 0, 7),
+	}
+	var qclose func() error
+	if *quarantine != "" {
+		qf, err := os.Create(*quarantine)
+		if err != nil {
+			fatal("open quarantine file: %v", err)
+		}
+		qw := cdr.NewQuarantineWriter(qf)
+		ingest.Sink = qw
+		qclose = func() error {
+			if err := qw.Close(); err != nil {
+				return err
+			}
+			return qf.Close()
+		}
+	}
+	// Flush the quarantine file even on fatal exits: the audit trail
+	// matters most when the run aborts.
+	atExit = func() {
+		if qclose != nil {
+			if err := qclose(); err != nil {
+				fmt.Fprintf(os.Stderr, "caranalyze: close quarantine file: %v\n", err)
+			}
+			qclose = nil
+		}
+	}
+	defer atExit()
+
 	var records []cdr.Record
+	var istats cdr.IngestStats
 	ctx := analysis.Context{Period: period, TZOffsetSeconds: *tz * 3600}
-	opts := analysis.RunOptions{Seed: *seed}
+	opts := analysis.RunOptions{Seed: *seed, FailStage: *failStage}
 	var model *load.Model
 
 	if *in != "" && *stream {
-		if err := runStreaming(*in, period); err != nil {
+		if err := runStreaming(*in, period, ingest); err != nil {
 			fatal("stream %s: %v", *in, err)
 		}
 		return
 	}
 	if *in != "" {
-		records, err = readFile(*in)
+		records, istats, err = readFile(*in, ingest)
 		if err != nil {
 			fatal("read %s: %v", *in, err)
 		}
-		fmt.Printf("loaded %d records from %s\n\n", len(records), *in)
+		fmt.Printf("loaded %d records from %s (%d quarantined)\n\n",
+			len(records), *in, istats.QuarantinedTotal())
 	} else {
 		cfg := synth.DefaultConfig(*cars)
 		cfg.Seed = *seed
@@ -79,6 +125,7 @@ func main() {
 		model = w.Load
 		ctx.Load = model
 		opts.BusyCells = model.VeryBusyCells()
+		istats.Read = int64(stats.Records)
 		fmt.Printf("generated %d records (%d cars, %d stations, %d cells)\n\n",
 			stats.Records, *cars, w.Net.NumStations(), w.Net.NumCells())
 	}
@@ -90,7 +137,14 @@ func main() {
 	if err != nil {
 		fatal("analyze: %v", err)
 	}
-	printReport(rep, ctx, records, model)
+	sectionFailures := printReport(rep, ctx, records, model)
+
+	quality := analysis.NewDataQuality(istats, int64(rep.RawRecords-rep.CleanRecords), rep.Presence, period)
+	quality.StageErrors = rep.StageErrors
+	for _, f := range sectionFailures {
+		quality.StageErrors = append(quality.StageErrors, analysis.StageError{Stage: "print", Err: f})
+	}
+	printQuality(quality)
 
 	if *md != "" {
 		desc := fmt.Sprintf("%d records over %d days (seed %d)", len(records), *days, *seed)
@@ -98,6 +152,7 @@ func main() {
 			Title:            "cellcars reproduction report",
 			SceneDescription: desc,
 			Now:              time.Now(),
+			Quality:          quality,
 		})
 		if err := os.WriteFile(*md, []byte(doc), 0o644); err != nil {
 			fatal("write %s: %v", *md, err)
@@ -106,82 +161,108 @@ func main() {
 	}
 }
 
-func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record, model *load.Model) {
+// atExit runs cleanup (quarantine flush) on both normal and fatal
+// exits.
+var atExit = func() {}
+
+// printReport prints every table and figure, each section isolated:
+// a section whose analysis stage failed — or whose own rendering
+// panics — prints a diagnostic and is skipped, and every other
+// section still appears. It returns the list of section failures.
+func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record, model *load.Model) []string {
+	var failed []string
+	// sec runs one print section; stage names the analysis.Run stage
+	// it depends on ("" for sections computed here from raw records).
+	sec := func(name, stage string, fn func()) {
+		if stage != "" {
+			if f := r.Failed(stage); f != nil {
+				fmt.Printf("!! %s skipped: analysis stage %q failed: %s\n\n", name, f.Stage, f.Err)
+				failed = append(failed, fmt.Sprintf("%s: stage %s: %s", name, f.Stage, f.Err))
+				return
+			}
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Printf("\n!! %s skipped: %v\n\n", name, p)
+				failed = append(failed, fmt.Sprintf("%s: panic: %v", name, p))
+			}
+		}()
+		fn()
+	}
+
 	fmt.Printf("== Preprocessing (§3) ==\n")
 	fmt.Printf("raw records %d, after ghost removal %d (%d one-hour ghosts dropped)\n\n",
 		r.RawRecords, r.CleanRecords, r.RawRecords-r.CleanRecords)
 
-	if model != nil {
-		fmt.Println("== Figure 1: single greedy download saturates a cell ==")
-		cells := model.VeryBusyCells()
-		if len(cells) < 2 {
-			// Any two cells will do for the demonstration.
-			all := allCells(records)
-			if len(all) >= 2 {
-				cells = all[:2]
+	sec("Figure 1", "", func() { printFigure1(ctx, records, model) })
+
+	sec("Figure 2 / Table 1", "presence", func() {
+		fmt.Println("== Figure 2 / Table 1: daily presence ==")
+		fmt.Printf("population: %d cars, %d cells touched\n", r.Presence.TotalCars, r.Presence.TotalCells)
+		fmt.Printf("cars trend:  %.5f + %.6f/day (R² = %.3f)\n",
+			r.Presence.CarsTrend.Intercept, r.Presence.CarsTrend.Slope, r.Presence.CarsTrend.R2)
+		fmt.Printf("cells trend: %.5f + %.6f/day (R² = %.3f)\n",
+			r.Presence.CellsTrend.Intercept, r.Presence.CellsTrend.Slope, r.Presence.CellsTrend.R2)
+		fmt.Println(textplot.Chart("% cars on network per day", dayAxis(len(r.Presence.CarsFrac)), r.Presence.CarsFrac, 72, 8))
+		fmt.Println(analysis.FormatTable1(r.WeekdayRows))
+	})
+
+	sec("Figure 3", "connected", func() {
+		fmt.Println("== Figure 3: total time on network (fraction of study) ==")
+		fmt.Printf("means: full %.2f%%, truncated %.2f%% | p99.5: full %.1f%%, truncated %.1f%%\n",
+			r.Connected.FullMean*100, r.Connected.TruncMean*100,
+			r.Connected.FullP995*100, r.Connected.TruncP995*100)
+		xs, ps := r.Connected.Truncated.Points(72)
+		fmt.Println(textplot.Chart("CDF, truncated at 600 s/conn", xs, ps, 72, 8))
+	})
+
+	sec("Figure 4", "", func() {
+		fmt.Println("== Figure 4: reference 24×7 matrices ==")
+		commute, peak, weekend := analysis.ReferenceMatrices()
+		fmt.Println(textplot.Matrix("commute peaks", &commute))
+		fmt.Println(textplot.Matrix("network peaks", &peak))
+		fmt.Println(textplot.Matrix("weekend", &weekend))
+	})
+
+	sec("Figure 5", "", func() {
+		fmt.Println("== Figure 5: usage matrices of 3 sample cars ==")
+		for i, car := range sampleCars(records, 3) {
+			m := analysis.UsageMatrix(analysis.RecordsOfCar(records, car), ctx)
+			fmt.Println(textplot.Matrix(fmt.Sprintf("car %d (%d)", i+1, car), &m))
+		}
+	})
+
+	sec("Figure 6", "days", func() {
+		fmt.Println("== Figure 6: days on network ==")
+		fmt.Println(textplot.Histogram("cars per day-count", r.DaysHist.Counts, 72, 8))
+	})
+
+	if len(r.Segments) > 0 || r.Failed("segments") != nil {
+		sec("Table 2", "segments", func() {
+			fmt.Println("== Table 2: car segmentation ==")
+			fmt.Println(analysis.FormatTable2(r.Segments))
+		})
+	}
+	if len(r.Segments) > 0 || r.Failed("busy") != nil {
+		sec("Figure 7", "busy", func() {
+			fmt.Println("== Figure 7: time in busy cells ==")
+			fmt.Printf("cars > 50%% busy time: %.2f%%; cars ~100%%: %.2f%%\n",
+				r.Busy.OverHalf*100, r.Busy.AllBusy*100)
+			h := r.Busy.Histogram7a()
+			labels := make([]string, len(h))
+			for i := range h {
+				labels[i] = fmt.Sprintf("%d-%d%%", i*10, (i+1)*10)
 			}
-		}
-		if len(cells) >= 2 {
-			sat := load.Saturate(model, cells[:2], ctx.Period.Days()/2,
-				20*time.Hour+45*time.Minute, 4*time.Hour, 0.97)
-			for i := range sat.Cells {
-				fmt.Println(textplot.Chart(
-					fmt.Sprintf("cell %v: test day (download from 20:45)", sat.Cells[i]),
-					binAxis(96), sat.Test[i][:], 72, 8))
-			}
-		}
-		fmt.Println()
+			fmt.Println(textplot.Bars("proportion of cars by busy-time decile", labels, h[:], 40))
+		})
 	}
 
-	fmt.Println("== Figure 2 / Table 1: daily presence ==")
-	fmt.Printf("population: %d cars, %d cells touched\n", r.Presence.TotalCars, r.Presence.TotalCells)
-	fmt.Printf("cars trend:  %.5f + %.6f/day (R² = %.3f)\n",
-		r.Presence.CarsTrend.Intercept, r.Presence.CarsTrend.Slope, r.Presence.CarsTrend.R2)
-	fmt.Printf("cells trend: %.5f + %.6f/day (R² = %.3f)\n",
-		r.Presence.CellsTrend.Intercept, r.Presence.CellsTrend.Slope, r.Presence.CellsTrend.R2)
-	fmt.Println(textplot.Chart("% cars on network per day", dayAxis(len(r.Presence.CarsFrac)), r.Presence.CarsFrac, 72, 8))
-	fmt.Println(analysis.FormatTable1(r.WeekdayRows))
-
-	fmt.Println("== Figure 3: total time on network (fraction of study) ==")
-	fmt.Printf("means: full %.2f%%, truncated %.2f%% | p99.5: full %.1f%%, truncated %.1f%%\n",
-		r.Connected.FullMean*100, r.Connected.TruncMean*100,
-		r.Connected.FullP995*100, r.Connected.TruncP995*100)
-	xs, ps := r.Connected.Truncated.Points(72)
-	fmt.Println(textplot.Chart("CDF, truncated at 600 s/conn", xs, ps, 72, 8))
-
-	fmt.Println("== Figure 4: reference 24×7 matrices ==")
-	commute, peak, weekend := analysis.ReferenceMatrices()
-	fmt.Println(textplot.Matrix("commute peaks", &commute))
-	fmt.Println(textplot.Matrix("network peaks", &peak))
-	fmt.Println(textplot.Matrix("weekend", &weekend))
-
-	fmt.Println("== Figure 5: usage matrices of 3 sample cars ==")
-	for i, car := range sampleCars(records, 3) {
-		m := analysis.UsageMatrix(analysis.RecordsOfCar(records, car), ctx)
-		fmt.Println(textplot.Matrix(fmt.Sprintf("car %d (%d)", i+1, car), &m))
-	}
-
-	fmt.Println("== Figure 6: days on network ==")
-	fmt.Println(textplot.Histogram("cars per day-count", r.DaysHist.Counts, 72, 8))
-
-	if len(r.Segments) > 0 {
-		fmt.Println("== Table 2: car segmentation ==")
-		fmt.Println(analysis.FormatTable2(r.Segments))
-
-		fmt.Println("== Figure 7: time in busy cells ==")
-		fmt.Printf("cars > 50%% busy time: %.2f%%; cars ~100%%: %.2f%%\n",
-			r.Busy.OverHalf*100, r.Busy.AllBusy*100)
-		h := r.Busy.Histogram7a()
-		labels := make([]string, len(h))
-		for i := range h {
-			labels[i] = fmt.Sprintf("%d-%d%%", i*10, (i+1)*10)
+	sec("Figure 8", "", func() {
+		fmt.Println("== Figure 8: one cell, 24 hours ==")
+		cell8, day8 := analysis.BusiestCellDay(records, ctx)
+		if cell8.IsZero() {
+			return
 		}
-		fmt.Println(textplot.Bars("proportion of cars by busy-time decile", labels, h[:], 40))
-	}
-
-	fmt.Println("== Figure 8: one cell, 24 hours ==")
-	cell8, day8 := analysis.BusiestCellDay(records, ctx)
-	if !cell8.IsZero() {
 		cd := analysis.CellDay(records, ctx, cell8, day8)
 		fmt.Printf("cell %v day %d: %d cars, peak 15-min concurrency %d\n",
 			cell8, day8, cd.UniqueCars, cd.PeakCars)
@@ -203,61 +284,110 @@ func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record,
 			spans = append(spans, byCar[id])
 		}
 		fmt.Println(textplot.Timeline("connections", spans, 72, 40))
+	})
+
+	sec("Figure 9", "durations", func() {
+		fmt.Println("== Figure 9: per-cell connection durations ==")
+		fmt.Printf("median %.0f s, p73 %.0f s, mean full %.0f s, mean truncated %.0f s\n",
+			r.Durations.Median, r.Durations.P73, r.Durations.FullMean, r.Durations.TruncMean)
+		xs, ps := r.Durations.Truncated.Points(72)
+		fmt.Println(textplot.Chart("CDF of durations (truncated)", xs, ps, 72, 8))
+	})
+
+	if ctx.Load != nil && (len(r.Clusters.Cells) > 0 || r.Failed("clusters") != nil) {
+		sec("Figures 10/11", "clusters", func() {
+			fmt.Println("== Figure 10: two sample busy radios over a week ==")
+			for i := 0; i < 2 && i < len(r.Clusters.Cells); i++ {
+				cw := analysis.CellWeek(records, ctx, r.Clusters.Cells[i], 0)
+				fmt.Println(textplot.WeekSeries(fmt.Sprintf("cell %v", cw.Cell),
+					cw.Concurrency[:], cw.Utilization[:], 96, 6))
+			}
+
+			fmt.Println("== Figure 11: k-means clusters over busy radios ==")
+			fmt.Printf("clusters: sizes %v, centroid peak ratio %.1fx\n",
+				r.Clusters.Sizes, r.Clusters.PeakRatio())
+			for c := 0; c < 2; c++ {
+				fmt.Println(textplot.Chart(fmt.Sprintf("cluster %d centroid (cars by time of day)", c+1),
+					binAxis(96), r.Clusters.Centroids[c], 72, 6))
+			}
+		})
 	}
 
-	fmt.Println("== Figure 9: per-cell connection durations ==")
-	fmt.Printf("median %.0f s, p73 %.0f s, mean full %.0f s, mean truncated %.0f s\n",
-		r.Durations.Median, r.Durations.P73, r.Durations.FullMean, r.Durations.TruncMean)
-	xs, ps = r.Durations.Truncated.Points(72)
-	fmt.Println(textplot.Chart("CDF of durations (truncated)", xs, ps, 72, 8))
-
-	if ctx.Load != nil && len(r.Clusters.Cells) > 0 {
-		fmt.Println("== Figure 10: two sample busy radios over a week ==")
-		for i := 0; i < 2 && i < len(r.Clusters.Cells); i++ {
-			cw := analysis.CellWeek(records, ctx, r.Clusters.Cells[i], 0)
-			fmt.Println(textplot.WeekSeries(fmt.Sprintf("cell %v", cw.Cell),
-				cw.Concurrency[:], cw.Utilization[:], 96, 6))
+	sec("§4.5", "handovers", func() {
+		fmt.Println("== §4.5: handovers per mobility session ==")
+		fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n",
+			r.Handovers.Sessions, r.Handovers.Median, r.Handovers.P70, r.Handovers.P90,
+			r.Handovers.InterBSShare()*100)
+		for kind, count := range r.Handovers.ByKind {
+			fmt.Printf("  %-22s %d\n", kind, count)
 		}
+		fmt.Println()
+	})
 
-		fmt.Println("== Figure 11: k-means clusters over busy radios ==")
-		fmt.Printf("clusters: sizes %v, centroid peak ratio %.1fx\n",
-			r.Clusters.Sizes, r.Clusters.PeakRatio())
-		for c := 0; c < 2; c++ {
-			fmt.Println(textplot.Chart(fmt.Sprintf("cluster %d centroid (cars by time of day)", c+1),
-				binAxis(96), r.Clusters.Centroids[c], 72, 6))
+	sec("Table 3", "carriers", func() {
+		fmt.Println("== Table 3: carrier use ==")
+		fmt.Println(analysis.FormatTable3(r.Carriers))
+	})
+
+	return failed
+}
+
+// printFigure1 renders the load-model saturation demonstration; it
+// needs the synthetic load model and is skipped in file mode.
+func printFigure1(ctx analysis.Context, records []cdr.Record, model *load.Model) {
+	if model == nil {
+		return
+	}
+	fmt.Println("== Figure 1: single greedy download saturates a cell ==")
+	cells := model.VeryBusyCells()
+	if len(cells) < 2 {
+		// Any two cells will do for the demonstration.
+		all := allCells(records)
+		if len(all) >= 2 {
+			cells = all[:2]
 		}
 	}
-
-	fmt.Println("== §4.5: handovers per mobility session ==")
-	fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n",
-		r.Handovers.Sessions, r.Handovers.Median, r.Handovers.P70, r.Handovers.P90,
-		r.Handovers.InterBSShare()*100)
-	for kind, count := range r.Handovers.ByKind {
-		fmt.Printf("  %-22s %d\n", kind, count)
+	if len(cells) >= 2 {
+		sat := load.Saturate(model, cells[:2], ctx.Period.Days()/2,
+			20*time.Hour+45*time.Minute, 4*time.Hour, 0.97)
+		for i := range sat.Cells {
+			fmt.Println(textplot.Chart(
+				fmt.Sprintf("cell %v: test day (download from 20:45)", sat.Cells[i]),
+				binAxis(96), sat.Test[i][:], 72, 8))
+		}
 	}
 	fmt.Println()
+}
 
-	fmt.Println("== Table 3: carrier use ==")
-	fmt.Println(analysis.FormatTable3(r.Carriers))
+// printQuality renders the Data Quality summary to the terminal.
+func printQuality(q *analysis.DataQuality) {
+	fmt.Println("== Data Quality ==")
+	fmt.Println(q.Summary())
+	for class, count := range q.Quarantined {
+		fmt.Printf("  quarantined %-12s %d\n", class, count)
+	}
+	for _, g := range q.Gaps {
+		fmt.Printf("  coverage gap day %d (%s): %.1f%% of cars vs median %.1f%%\n",
+			g.Day, g.Date.Format("2006-01-02"), g.CarsFrac*100, g.Baseline*100)
+	}
+	for _, s := range q.StageErrors {
+		fmt.Printf("  skipped stage %s: %s\n", s.Stage, s.Err)
+	}
+	fmt.Println()
 }
 
 // runStreaming analyzes a CDR file in one bounded-memory pass,
 // printing the record-level subset of the report (presence, connected
 // time, days, durations, carriers).
-func runStreaming(path string, period simtime.Period) error {
+func runStreaming(path string, period simtime.Period, ingest cdr.ResilientConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var r cdr.Reader
-	if strings.HasSuffix(path, ".csv") {
-		r = cdr.NewCSVReader(f)
-	} else {
-		r = cdr.NewBinaryReader(f)
-	}
+	rr := cdr.NewResilientReader(openReader(path, f), ingest)
 	s := analysis.NewStreaming(period)
-	if err := s.AddAll(r); err != nil {
+	if err := s.AddAll(rr); err != nil {
 		return err
 	}
 	rep := s.Finalize()
@@ -274,22 +404,31 @@ func runStreaming(path string, period simtime.Period) error {
 		rep.DurMedian, rep.DurP73, rep.DurFullMean, rep.DurTruncMean)
 	fmt.Printf("== Table 3: carrier use ==\n")
 	fmt.Println(analysis.FormatTable3(rep.Carriers))
+
+	quality := analysis.NewDataQuality(rr.Stats(), rep.GhostsDropped, rep.Presence, period)
+	printQuality(quality)
 	return nil
 }
 
-func readFile(path string) ([]cdr.Record, error) {
+// openReader picks the codec by file extension.
+func openReader(path string, f *os.File) cdr.Reader {
+	if strings.HasSuffix(path, ".csv") {
+		return cdr.NewCSVReader(f)
+	}
+	return cdr.NewBinaryReader(f)
+}
+
+// readFile loads a CDR file through the resilient ingest layer,
+// returning the accepted records and the ingest statistics.
+func readFile(path string, ingest cdr.ResilientConfig) ([]cdr.Record, cdr.IngestStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, cdr.IngestStats{}, err
 	}
 	defer f.Close()
-	var r cdr.Reader
-	if strings.HasSuffix(path, ".csv") {
-		r = cdr.NewCSVReader(f)
-	} else {
-		r = cdr.NewBinaryReader(f)
-	}
-	return cdr.ReadAll(r)
+	rr := cdr.NewResilientReader(openReader(path, f), ingest)
+	records, err := cdr.ReadAll(rr)
+	return records, rr.Stats(), err
 }
 
 // sampleCars picks n distinct car ids spread across the stream.
@@ -356,5 +495,6 @@ func max(a, b int) int {
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "caranalyze: "+format+"\n", args...)
+	atExit()
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"cellcars/internal/cdr"
@@ -35,6 +36,29 @@ type Report struct {
 	// RawRecords and CleanRecords count the stream before and after
 	// ghost removal.
 	RawRecords, CleanRecords int
+
+	// StageErrors lists the analysis stages that failed (error or
+	// panic) and were skipped; the rest of the report is still valid.
+	StageErrors []StageError
+}
+
+// StageError records one skipped analysis stage.
+type StageError struct {
+	// Stage is the stable stage name (see Run).
+	Stage string
+	// Err is the rendered failure.
+	Err string
+}
+
+// Failed returns the error for a named stage, or nil when the stage
+// ran cleanly.
+func (r *Report) Failed(stage string) *StageError {
+	for i := range r.StageErrors {
+		if r.StageErrors[i].Stage == stage {
+			return &r.StageErrors[i]
+		}
+	}
+	return nil
 }
 
 // RunOptions tunes a full pipeline run.
@@ -47,11 +71,22 @@ type RunOptions struct {
 	BusyCells []radio.CellKey
 	// Seed drives k-means++ initialization. Default 1.
 	Seed uint64
+	// FailStage, when non-empty, makes the named stage fail
+	// artificially — a chaos hook proving that one broken analysis
+	// degrades to a diagnostic instead of killing the run. Stage
+	// names: presence, connected, days, segments, busy, durations,
+	// handovers, carriers, clusters.
+	FailStage string
 }
 
 // Run executes the complete measurement pipeline over a raw record
 // stream: ghost removal (§3), then every analysis in §4. The input
 // slice is not modified.
+//
+// Each analysis stage runs isolated: a stage that returns an error or
+// panics is recorded in Report.StageErrors and skipped, and every
+// other table and figure is still produced. Run itself only returns
+// an error when the input stream cannot be read at all.
 func Run(records []cdr.Record, ctx Context, opts RunOptions) (*Report, error) {
 	if opts.RareDays == nil {
 		opts.RareDays = []int{10, 30}
@@ -65,30 +100,72 @@ func Run(records []cdr.Record, ctx Context, opts RunOptions) (*Report, error) {
 	}
 
 	r := &Report{RawRecords: len(records), CleanRecords: len(cleaned)}
-	r.Presence = DailyPresenceOf(cleaned, ctx.Period)
-	r.WeekdayRows = Table1(r.Presence, ctx.Period)
-	r.Connected = ConnectedTimeOf(cleaned, ctx.Period)
-	r.DaysHist = DaysHistogram(cleaned, ctx.Period)
+	r.runStage("presence", opts, func() error {
+		r.Presence = DailyPresenceOf(cleaned, ctx.Period)
+		r.WeekdayRows = Table1(r.Presence, ctx.Period)
+		return nil
+	})
+	r.runStage("connected", opts, func() error {
+		r.Connected = ConnectedTimeOf(cleaned, ctx.Period)
+		return nil
+	})
+	r.runStage("days", opts, func() error {
+		r.DaysHist = DaysHistogram(cleaned, ctx.Period)
+		return nil
+	})
 	if ctx.Load != nil {
-		r.Segments = Segmentation(cleaned, ctx, opts.RareDays...)
-		r.Busy = BusyTimeOf(cleaned, ctx)
+		r.runStage("segments", opts, func() error {
+			r.Segments = Segmentation(cleaned, ctx, opts.RareDays...)
+			return nil
+		})
+		r.runStage("busy", opts, func() error {
+			r.Busy = BusyTimeOf(cleaned, ctx)
+			return nil
+		})
 	}
-	r.Durations = CellDurationsOf(cleaned)
-	// Handover accounting runs on the truncated stream: the paper's §3
-	// truncation exists precisely so stuck sessions do not bridge
-	// otherwise-separate mobility sessions.
-	truncated, err := cdr.ReadAll(clean.Truncate(cdr.NewSliceReader(cleaned), clean.TruncateLimit))
-	if err != nil {
-		return nil, err
-	}
-	r.Handovers, err = HandoversOf(truncated)
-	if err != nil {
-		return nil, err
-	}
-	r.Carriers = CarrierUsageOf(cleaned)
+	r.runStage("durations", opts, func() error {
+		r.Durations = CellDurationsOf(cleaned)
+		return nil
+	})
+	r.runStage("handovers", opts, func() error {
+		// Handover accounting runs on the truncated stream: the
+		// paper's §3 truncation exists precisely so stuck sessions do
+		// not bridge otherwise-separate mobility sessions.
+		truncated, err := cdr.ReadAll(clean.Truncate(cdr.NewSliceReader(cleaned), clean.TruncateLimit))
+		if err != nil {
+			return err
+		}
+		r.Handovers, err = HandoversOf(truncated)
+		return err
+	})
+	r.runStage("carriers", opts, func() error {
+		r.Carriers = CarrierUsageOf(cleaned)
+		return nil
+	})
 	if ctx.Load != nil && len(opts.BusyCells) >= 2 {
-		rng := rand.New(rand.NewPCG(opts.Seed, 0xF16))
-		r.Clusters = ClusterBusyCells(cleaned, ctx, opts.BusyCells, rng)
+		r.runStage("clusters", opts, func() error {
+			rng := rand.New(rand.NewPCG(opts.Seed, 0xF16))
+			r.Clusters = ClusterBusyCells(cleaned, ctx, opts.BusyCells, rng)
+			return nil
+		})
 	}
 	return r, nil
+}
+
+// runStage executes one analysis stage isolated: errors and panics
+// are captured into StageErrors, leaving the stage's report fields at
+// their zero values.
+func (r *Report) runStage(name string, opts RunOptions, fn func() error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.StageErrors = append(r.StageErrors, StageError{Stage: name, Err: fmt.Sprintf("panic: %v", p)})
+		}
+	}()
+	if name == opts.FailStage {
+		r.StageErrors = append(r.StageErrors, StageError{Stage: name, Err: "injected failure (FailStage)"})
+		return
+	}
+	if err := fn(); err != nil {
+		r.StageErrors = append(r.StageErrors, StageError{Stage: name, Err: err.Error()})
+	}
 }

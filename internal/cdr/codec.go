@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 
@@ -17,6 +18,37 @@ import (
 // columns car, cell, start_unix, duration_s. Cell is the packed
 // CellKey in decimal; times are Unix seconds UTC.
 var csvHeader = []string{"car", "cell", "start_unix", "duration_s"}
+
+// Sentinel errors for record-level decode failures. Both codecs wrap
+// their malformed-input errors so that callers (notably
+// ResilientReader) can classify a failure without string matching.
+var (
+	// ErrBadRecord marks a record that decoded structurally but is
+	// malformed: an unparseable field, a wrong column count, or a
+	// failed Validate. The stream remains readable past it.
+	ErrBadRecord = errors.New("malformed record")
+	// ErrTruncated marks a binary stream that ends mid-record (or
+	// mid-header): a partial trailing frame. No further records can be
+	// recovered after it.
+	ErrTruncated = errors.New("truncated stream")
+)
+
+// isHeaderRow reports whether row is exactly the standard CSV header.
+// Header detection is strict — every column name must match — so that
+// a data-like first row is never silently swallowed and a
+// wrong-schema header is surfaced as a parse error instead of being
+// skipped.
+func isHeaderRow(row []string) bool {
+	if len(row) != len(csvHeader) {
+		return false
+	}
+	for i, f := range row {
+		if f != csvHeader[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // CSVWriter streams records as CSV.
 type CSVWriter struct {
@@ -75,34 +107,47 @@ func NewCSVReader(r io.Reader) *CSVReader {
 	return &CSVReader{r: cr}
 }
 
-// Read returns the next record or io.EOF.
+// Read returns the next record or io.EOF. Malformed rows (wrong
+// column count, unparseable fields, failed validation) are reported
+// as errors wrapping ErrBadRecord; the reader stays usable and the
+// next Read resumes on the following row.
 func (c *CSVReader) Read() (Record, error) {
 	for {
 		row, err := c.r.Read()
 		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				return Record{}, fmt.Errorf("cdr: bad csv row: %v: %w", err, ErrBadRecord)
+			}
 			return Record{}, err
 		}
 		if !c.header {
 			c.header = true
-			if row[0] == csvHeader[0] {
+			if isHeaderRow(row) {
 				continue
 			}
 		}
 		car, err := strconv.ParseUint(row[0], 10, 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("cdr: bad car id %q: %w", row[0], err)
+			return Record{}, fmt.Errorf("cdr: bad car id %q: %w", row[0], ErrBadRecord)
 		}
 		cell, err := strconv.ParseUint(row[1], 10, 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("cdr: bad cell %q: %w", row[1], err)
+			return Record{}, fmt.Errorf("cdr: bad cell %q: %w", row[1], ErrBadRecord)
 		}
 		start, err := strconv.ParseInt(row[2], 10, 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("cdr: bad start %q: %w", row[2], err)
+			return Record{}, fmt.Errorf("cdr: bad start %q: %w", row[2], ErrBadRecord)
 		}
 		dur, err := strconv.ParseInt(row[3], 10, 64)
 		if err != nil {
-			return Record{}, fmt.Errorf("cdr: bad duration %q: %w", row[3], err)
+			return Record{}, fmt.Errorf("cdr: bad duration %q: %w", row[3], ErrBadRecord)
+		}
+		// Guard the seconds→Duration multiply: a forged value past
+		// ~292 years would wrap int64 and could slip through
+		// validation as a positive garbage duration.
+		if dur < 0 || dur > math.MaxInt64/int64(time.Second) {
+			return Record{}, fmt.Errorf("cdr: duration %q out of range: %w", row[3], ErrBadRecord)
 		}
 		rec := Record{
 			Car:      CarID(car),
@@ -111,7 +156,7 @@ func (c *CSVReader) Read() (Record, error) {
 			Duration: time.Duration(dur) * time.Second,
 		}
 		if err := rec.Validate(); err != nil {
-			return Record{}, err
+			return Record{}, fmt.Errorf("%v: %w", err, ErrBadRecord)
 		}
 		return rec, nil
 	}
@@ -189,13 +234,17 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Read returns the next record or io.EOF.
+// Read returns the next record or io.EOF. A partial trailing record
+// (or header) is reported as an error wrapping ErrTruncated; a record
+// with malformed field values wraps ErrBadRecord and — since the
+// fixed-size framing keeps the stream aligned — the next Read resumes
+// on the following record.
 func (b *BinaryReader) Read() (Record, error) {
 	if !b.magic {
 		var m [8]byte
-		if _, err := io.ReadFull(b.r, m[:]); err != nil {
+		if n, err := io.ReadFull(b.r, m[:]); err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return Record{}, fmt.Errorf("cdr: truncated binary header")
+				return Record{}, fmt.Errorf("cdr: binary header cut at %d of %d bytes: %w", n, len(m), ErrTruncated)
 			}
 			return Record{}, err
 		}
@@ -204,9 +253,9 @@ func (b *BinaryReader) Read() (Record, error) {
 		}
 		b.magic = true
 	}
-	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+	if n, err := io.ReadFull(b.r, b.buf[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Record{}, fmt.Errorf("cdr: truncated binary record")
+			return Record{}, fmt.Errorf("cdr: binary record cut at %d of %d bytes: %w", n, binRecordSize, ErrTruncated)
 		}
 		return Record{}, err
 	}
@@ -217,7 +266,7 @@ func (b *BinaryReader) Read() (Record, error) {
 		Duration: time.Duration(binary.LittleEndian.Uint32(b.buf[24:])) * time.Second,
 	}
 	if err := rec.Validate(); err != nil {
-		return Record{}, err
+		return Record{}, fmt.Errorf("%v: %w", err, ErrBadRecord)
 	}
 	return rec, nil
 }

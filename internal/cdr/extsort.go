@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // ExternalSortConfig controls disk-backed sorting of CDR streams too
@@ -17,20 +18,51 @@ type ExternalSortConfig struct {
 	ChunkRecords int
 	// TempDir holds the spill files. Defaults to os.TempDir().
 	TempDir string
+	// RetryAttempts is how many times a transient failure (see
+	// IsTransient) of a stream read or a spill write is retried before
+	// the sort gives up. Default 3; negative disables retries.
+	RetryAttempts int
+	// RetryBackoff is the initial delay between retries, doubling per
+	// attempt. Default 5ms.
+	RetryBackoff time.Duration
 }
 
-// ExternalSort reads every record from r, sorts the stream by
-// (start, car, cell), and writes it to w, spilling sorted chunks to
-// temporary files in the binary format and k-way merging them.
-// Temporary files are always cleaned up. Small inputs (one chunk)
-// never touch the disk.
-func ExternalSort(r Reader, w Writer, cfg ExternalSortConfig) (err error) {
+func (cfg *ExternalSortConfig) fill() {
 	if cfg.ChunkRecords <= 0 {
 		cfg.ChunkRecords = 4 << 20
 	}
 	if cfg.TempDir == "" {
 		cfg.TempDir = os.TempDir()
 	}
+	if cfg.RetryAttempts == 0 {
+		cfg.RetryAttempts = 3
+	}
+	if cfg.RetryAttempts < 0 {
+		cfg.RetryAttempts = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+}
+
+// ExternalSort reads every record from r, sorts the stream by
+// (start, car, cell), and writes it to w, spilling sorted chunks to
+// temporary files in the binary format and k-way merging them.
+// Transient read and spill failures are retried with exponential
+// backoff per the config. Temporary files are always cleaned up, even
+// when a reader or writer panics (the panic is converted into an
+// error). Small inputs (one chunk) never touch the disk.
+func ExternalSort(r Reader, w Writer, cfg ExternalSortConfig) (err error) {
+	cfg.fill()
+
+	// Registered first so it runs last: by then the cleanup defers
+	// below have already removed spill files and closed merge inputs,
+	// panicking or not.
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("cdr: external sort panicked: %v", p)
+		}
+	}()
 
 	var spills []string
 	defer func() {
@@ -41,7 +73,7 @@ func ExternalSort(r Reader, w Writer, cfg ExternalSortConfig) (err error) {
 
 	chunk := make([]Record, 0, min(cfg.ChunkRecords, 1<<16))
 	for {
-		rec, rerr := r.Read()
+		rec, rerr := readRetry(r, cfg)
 		if rerr != nil {
 			if errors.Is(rerr, io.EOF) {
 				break
@@ -50,7 +82,7 @@ func ExternalSort(r Reader, w Writer, cfg ExternalSortConfig) (err error) {
 		}
 		chunk = append(chunk, rec)
 		if len(chunk) >= cfg.ChunkRecords {
-			path, serr := spillChunk(chunk, cfg.TempDir, len(spills))
+			path, serr := spillRetry(chunk, cfg, len(spills))
 			if serr != nil {
 				return serr
 			}
@@ -100,11 +132,43 @@ func ExternalSort(r Reader, w Writer, cfg ExternalSortConfig) (err error) {
 	}
 }
 
+// readRetry reads one record, retrying transient failures with
+// backoff.
+func readRetry(r Reader, cfg ExternalSortConfig) (Record, error) {
+	var rec Record
+	var err error
+	for attempt := 0; ; attempt++ {
+		rec, err = r.Read()
+		if err == nil || !IsTransient(err) || attempt >= cfg.RetryAttempts {
+			return rec, err
+		}
+		sleepFn(cfg.RetryBackoff << attempt)
+	}
+}
+
+// spillRetry spills one chunk, retrying transient failures with
+// backoff. Each attempt writes a fresh temp file; failed attempts
+// remove their own file, so retries never leak.
+func spillRetry(chunk []Record, cfg ExternalSortConfig, index int) (string, error) {
+	var path string
+	var err error
+	for attempt := 0; ; attempt++ {
+		path, err = spillChunk(chunk, cfg.TempDir, index)
+		if err == nil || !IsTransient(err) || attempt >= cfg.RetryAttempts {
+			return path, err
+		}
+		sleepFn(cfg.RetryBackoff << attempt)
+	}
+}
+
+// createSpillFile is stubbed by tests to inject spill I/O faults.
+var createSpillFile = os.CreateTemp
+
 // spillChunk sorts and writes one chunk to a temporary binary file,
 // returning its path.
 func spillChunk(chunk []Record, dir string, index int) (string, error) {
 	Sort(chunk)
-	f, err := os.CreateTemp(dir, fmt.Sprintf("cdrsort-%04d-*.bin", index))
+	f, err := createSpillFile(dir, fmt.Sprintf("cdrsort-%04d-*.bin", index))
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,174 @@
+package cdr
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// countFiles returns the number of entries in dir.
+func countFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+func TestExternalSortUnwritableTempDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	in := randomRecords(1000, 11)
+	var out SliceWriter
+	err := ExternalSort(NewSliceReader(in), &out, ExternalSortConfig{ChunkRecords: 100, TempDir: dir})
+	if err == nil {
+		t.Fatal("unwritable temp dir accepted")
+	}
+}
+
+func TestExternalSortUnwritableTempDirRootSafe(t *testing.T) {
+	// A nonexistent temp dir fails for any uid, covering the
+	// unwritable-spill-path branch even when running as root.
+	in := randomRecords(1000, 11)
+	var out SliceWriter
+	err := ExternalSort(NewSliceReader(in), &out,
+		ExternalSortConfig{ChunkRecords: 100, TempDir: filepath.Join(t.TempDir(), "missing", "deep")})
+	if err == nil {
+		t.Fatal("nonexistent temp dir accepted")
+	}
+}
+
+func TestExternalSortReaderErrorMidStreamCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	in := randomRecords(900, 12)
+	boom := errors.New("mid-stream failure")
+	n := 0
+	r := readerFunc(func() (Record, error) {
+		if n >= 600 {
+			return Record{}, boom
+		}
+		rec := in[n]
+		n++
+		return rec, nil
+	})
+	var out SliceWriter
+	err := ExternalSort(r, &out, ExternalSortConfig{ChunkRecords: 100, TempDir: dir})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the reader failure", err)
+	}
+	if got := countFiles(t, dir); got != 0 {
+		t.Fatalf("%d spill files leaked after reader error", got)
+	}
+}
+
+func TestExternalSortWriterErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	in := randomRecords(900, 13)
+	boom := errors.New("sink failure")
+	w := writerFunc(func(Record) error { return boom })
+	err := ExternalSort(NewSliceReader(in), w, ExternalSortConfig{ChunkRecords: 100, TempDir: dir})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer failure", err)
+	}
+	if got := countFiles(t, dir); got != 0 {
+		t.Fatalf("%d spill files leaked after writer error", got)
+	}
+}
+
+func TestExternalSortPanicIsRecoveredAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	in := randomRecords(900, 14)
+	n := 0
+	r := readerFunc(func() (Record, error) {
+		if n >= 600 {
+			panic("reader exploded")
+		}
+		rec := in[n]
+		n++
+		return rec, nil
+	})
+	var out SliceWriter
+	err := ExternalSort(r, &out, ExternalSortConfig{ChunkRecords: 100, TempDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want recovered panic", err)
+	}
+	if got := countFiles(t, dir); got != 0 {
+		t.Fatalf("%d spill files leaked after panic", got)
+	}
+}
+
+func TestExternalSortRetriesTransientReads(t *testing.T) {
+	defer stubSleep(t)()
+	in := randomRecords(3000, 15)
+	flaky := NewFlakyReader(NewSliceReader(in), 10)
+	var out SliceWriter
+	err := ExternalSort(flaky, &out, ExternalSortConfig{ChunkRecords: 500, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != len(in) || !Sorted(out.Records) {
+		t.Fatalf("records = %d sorted=%v, want %d", len(out.Records), Sorted(out.Records), len(in))
+	}
+}
+
+func TestExternalSortRetriesTransientSpills(t *testing.T) {
+	defer stubSleep(t)()
+	fails := 0
+	old := createSpillFile
+	createSpillFile = func(dir, pattern string) (*os.File, error) {
+		if fails < 2 {
+			fails++
+			return nil, Transient(errors.New("spill device busy"))
+		}
+		return os.CreateTemp(dir, pattern)
+	}
+	defer func() { createSpillFile = old }()
+
+	dir := t.TempDir()
+	in := randomRecords(1500, 16)
+	var out SliceWriter
+	err := ExternalSort(NewSliceReader(in), &out, ExternalSortConfig{ChunkRecords: 300, TempDir: dir})
+	if err != nil {
+		t.Fatalf("transient spill faults not retried: %v", err)
+	}
+	if fails != 2 {
+		t.Fatalf("fault injector fired %d times, want 2", fails)
+	}
+	if len(out.Records) != len(in) || !Sorted(out.Records) {
+		t.Fatalf("records = %d sorted=%v", len(out.Records), Sorted(out.Records))
+	}
+	if got := countFiles(t, dir); got != 0 {
+		t.Fatalf("%d spill files leaked", got)
+	}
+}
+
+func TestExternalSortTransientSpillExhaustion(t *testing.T) {
+	defer stubSleep(t)()
+	old := createSpillFile
+	createSpillFile = func(string, string) (*os.File, error) {
+		return nil, Transient(errors.New("spill device gone"))
+	}
+	defer func() { createSpillFile = old }()
+
+	in := randomRecords(1500, 17)
+	var out SliceWriter
+	err := ExternalSort(NewSliceReader(in), &out,
+		ExternalSortConfig{ChunkRecords: 300, TempDir: t.TempDir(), RetryAttempts: 2})
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("err = %v, want exhausted transient failure", err)
+	}
+}
+
+// writerFunc adapts a closure to the Writer interface.
+type writerFunc func(Record) error
+
+func (f writerFunc) Write(r Record) error { return f(r) }

@@ -7,6 +7,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -26,6 +27,10 @@ type Options struct {
 	// Now stamps the document; pass a fixed time for reproducible
 	// output (library code never reads the wall clock itself).
 	Now time.Time
+	// Quality, when non-nil, adds a Data Quality section: ingest and
+	// quarantine counters, detected coverage-gap days, and skipped
+	// stages.
+	Quality *analysis.DataQuality
 }
 
 // Render produces the Markdown document for a report.
@@ -49,20 +54,80 @@ func Render(r *analysis.Report, ctx analysis.Context, opts Options) string {
 	fmt.Fprintf(&b, "| after ghost removal | %d |\n", r.CleanRecords)
 	fmt.Fprintf(&b, "| one-hour ghosts dropped | %d |\n\n", r.RawRecords-r.CleanRecords)
 
-	renderTable1(&b, r)
-	renderConnected(&b, r)
-	renderDaysHistogram(&b, r, ctx)
-	if len(r.Segments) > 0 {
-		renderSegmentation(&b, r)
-		renderBusyTime(&b, r)
+	section(&b, r, "presence", renderTable1)
+	section(&b, r, "connected", renderConnected)
+	section(&b, r, "days", func(b *strings.Builder, r *analysis.Report) {
+		renderDaysHistogram(b, r, ctx)
+	})
+	if r.Failed("segments") != nil || len(r.Segments) > 0 {
+		section(&b, r, "segments", renderSegmentation)
 	}
-	renderDurations(&b, r)
-	renderHandovers(&b, r)
-	renderCarriers(&b, r)
-	if len(r.Clusters.Cells) > 0 {
-		renderClusters(&b, r)
+	if r.Failed("busy") != nil || len(r.Segments) > 0 {
+		section(&b, r, "busy", renderBusyTime)
 	}
+	section(&b, r, "durations", renderDurations)
+	section(&b, r, "handovers", renderHandovers)
+	section(&b, r, "carriers", renderCarriers)
+	if r.Failed("clusters") != nil || len(r.Clusters.Cells) > 0 {
+		section(&b, r, "clusters", renderClusters)
+	}
+	renderQuality(&b, r, opts.Quality)
 	return b.String()
+}
+
+// section renders one report section unless its analysis stage was
+// skipped, in which case it emits the diagnostic instead — a degraded
+// report still documents every section it could not produce.
+func section(b *strings.Builder, r *analysis.Report, stage string, render func(*strings.Builder, *analysis.Report)) {
+	if fail := r.Failed(stage); fail != nil {
+		fmt.Fprintf(b, "## %s — stage skipped\n\n", stage)
+		fmt.Fprintf(b, "> Analysis stage `%s` failed and was skipped: %s\n\n", fail.Stage, fail.Err)
+		return
+	}
+	render(b, r)
+}
+
+// renderQuality writes the Data Quality section: how dirty the input
+// was and what the pipeline did about it.
+func renderQuality(b *strings.Builder, r *analysis.Report, q *analysis.DataQuality) {
+	if q == nil {
+		return
+	}
+	fmt.Fprintf(b, "## Data Quality\n\n")
+	fmt.Fprintf(b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(b, "| records read | %d |\n", q.RecordsRead)
+	fmt.Fprintf(b, "| one-hour ghosts dropped | %d |\n", q.GhostsDropped)
+	fmt.Fprintf(b, "| quarantined | %d |\n", q.QuarantinedTotal)
+	fmt.Fprintf(b, "| transient retries | %d |\n", q.Retries)
+	fmt.Fprintf(b, "| coverage-gap days | %d |\n\n", len(q.Gaps))
+	if len(q.Quarantined) > 0 {
+		fmt.Fprintf(b, "Quarantine breakdown:\n\n| class | records |\n|---|---|\n")
+		classes := make([]string, 0, len(q.Quarantined))
+		for class := range q.Quarantined {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Fprintf(b, "| %s | %d |\n", class, q.Quarantined[class])
+		}
+		b.WriteString("\n")
+	}
+	if len(q.Gaps) > 0 {
+		fmt.Fprintf(b, "Detected coverage gaps (paper §3 reports a 3-day partial data-loss window, visible as the Figure 2 dip):\n\n")
+		fmt.Fprintf(b, "| day | date | %%cars seen | period median |\n|---|---|---|---|\n")
+		for _, g := range q.Gaps {
+			fmt.Fprintf(b, "| %d | %s | %.1f%% | %.1f%% |\n",
+				g.Day, g.Date.Format("2006-01-02"), g.CarsFrac*100, g.Baseline*100)
+		}
+		b.WriteString("\n")
+	}
+	if len(q.StageErrors) > 0 {
+		fmt.Fprintf(b, "Skipped analysis stages:\n\n| stage | error |\n|---|---|\n")
+		for _, s := range q.StageErrors {
+			fmt.Fprintf(b, "| %s | %s |\n", s.Stage, s.Err)
+		}
+		b.WriteString("\n")
+	}
 }
 
 func renderTable1(b *strings.Builder, r *analysis.Report) {
@@ -91,6 +156,9 @@ func renderConnected(b *strings.Builder, r *analysis.Report) {
 }
 
 func renderDaysHistogram(b *strings.Builder, r *analysis.Report, ctx analysis.Context) {
+	if r.DaysHist == nil {
+		return
+	}
 	fmt.Fprintf(b, "## Figure 6 — days on network\n\n")
 	fmt.Fprintf(b, "Paper: sharp drop below 10 days, rising trend past 30.\n\n")
 	fmt.Fprintf(b, "```\n%s```\n\n",
