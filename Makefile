@@ -1,12 +1,24 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke ci
+.PHONY: all build test race vet fuzz-smoke bench bench-smoke ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Engine throughput and parallel speedup over ~1M records; the result
+# (records/sec per worker count, speedup vs sequential, GOMAXPROCS)
+# is recorded in BENCH_engine.json.
+bench:
+	$(GO) run ./cmd/enginebench -records 1000000 -workers 1,4,8 -out BENCH_engine.json
+
+# A fast CI invocation of the same harness: small workload, one rep,
+# result discarded. Catches bit-rot in the bench path, not performance.
+bench-smoke:
+	$(GO) run ./cmd/enginebench -records 50000 -reps 1 -workers 1,4 -out BENCH_engine.smoke.json
+	rm -f BENCH_engine.smoke.json
 
 test:
 	$(GO) test ./...
@@ -23,4 +35,4 @@ fuzz-smoke:
 	$(GO) test ./internal/cdr -run='^$$' -fuzz=FuzzCSVReader -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/cdr -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME)
 
-ci: vet build race fuzz-smoke
+ci: vet build race bench-smoke fuzz-smoke

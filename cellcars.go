@@ -131,9 +131,27 @@ func AnalysisContext(s *Scene) Context {
 }
 
 // Analyze runs the complete measurement pipeline (§3 cleaning plus
-// every §4 analysis) over a raw record stream.
+// every §4 analysis) over a raw record stream. It is a thin adapter
+// over the sharded accumulator engine: set AnalyzeOptions.Workers to
+// parallelize (the report is bit-identical for any worker count).
 func Analyze(records []Record, ctx Context, opts AnalyzeOptions) (*Report, error) {
 	return analysis.Run(records, ctx, opts)
+}
+
+// The sharded analysis engine: every §4 analysis expressed as a
+// mergeable accumulator, run over car-disjoint shards in parallel.
+type (
+	// Engine shards records by car across workers and merges the
+	// per-shard partial results into one Report.
+	Engine = analysis.Engine
+	// EngineOptions extends AnalyzeOptions with the worker count.
+	EngineOptions = analysis.EngineOptions
+)
+
+// NewEngine builds a sharded analysis engine. Workers <= 1 runs
+// sequentially; any worker count yields a bit-identical Report.
+func NewEngine(ctx Context, opts EngineOptions) *Engine {
+	return analysis.NewEngine(ctx, opts)
 }
 
 // Streaming analysis for data sets too large for memory.
@@ -148,6 +166,13 @@ type (
 // NewStreaming returns an empty streaming accumulator over the period.
 func NewStreaming(period Period) *StreamingAnalyzer {
 	return analysis.NewStreaming(period)
+}
+
+// NewStreamingWithContext returns a streaming accumulator with a full
+// analysis context; with a load source it additionally covers the
+// busy-cell analyses (Table 2, Figure 7).
+func NewStreamingWithContext(ctx Context) *StreamingAnalyzer {
+	return analysis.NewStreamingWithContext(ctx)
 }
 
 // DefaultPeriod returns the 90-day study window used throughout the

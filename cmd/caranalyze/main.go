@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -30,15 +31,16 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "CDR file to analyze (empty: generate a scene)")
-		cars   = flag.Int("cars", 2000, "fleet size (generate mode)")
-		days   = flag.Int("days", 28, "study length in days")
-		seed   = flag.Uint64("seed", 1, "seed")
-		world  = flag.Float64("world", 60, "world side length in km (generate mode)")
-		start  = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
-		tz     = flag.Int("tz", -5, "local-time offset from UTC in hours")
-		md     = flag.String("md", "", "also write a Markdown report to this file")
-		stream = flag.Bool("stream", false, "with -in: single-pass bounded-memory analysis")
+		in      = flag.String("in", "", "CDR file to analyze (empty: generate a scene)")
+		cars    = flag.Int("cars", 2000, "fleet size (generate mode)")
+		days    = flag.Int("days", 28, "study length in days")
+		seed    = flag.Uint64("seed", 1, "seed")
+		world   = flag.Float64("world", 60, "world side length in km (generate mode)")
+		start   = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
+		tz      = flag.Int("tz", -5, "local-time offset from UTC in hours")
+		md      = flag.String("md", "", "also write a Markdown report to this file")
+		stream  = flag.Bool("stream", false, "with -in: single-pass bounded-memory analysis")
+		workers = flag.Int("workers", 1, "parallel analysis workers (records sharded by car)")
 
 		strict     = flag.Bool("strict", false, "with -in: abort on the first malformed record")
 		quarantine = flag.String("quarantine", "", "with -in: write quarantined records to this file (TSV)")
@@ -95,11 +97,11 @@ func main() {
 	var records []cdr.Record
 	var istats cdr.IngestStats
 	ctx := analysis.Context{Period: period, TZOffsetSeconds: *tz * 3600}
-	opts := analysis.RunOptions{Seed: *seed, FailStage: *failStage}
+	opts := analysis.RunOptions{Seed: *seed, FailStage: *failStage, Workers: *workers}
 	var model *load.Model
 
 	if *in != "" && *stream {
-		if err := runStreaming(*in, period, ingest); err != nil {
+		if err := runStreaming(*in, ctx, ingest); err != nil {
 			fatal("stream %s: %v", *in, err)
 		}
 		return
@@ -191,8 +193,8 @@ func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record,
 	}
 
 	fmt.Printf("== Preprocessing (§3) ==\n")
-	fmt.Printf("raw records %d, after ghost removal %d (%d one-hour ghosts dropped)\n\n",
-		r.RawRecords, r.CleanRecords, r.RawRecords-r.CleanRecords)
+	fmt.Printf("raw records %d, after ghost removal %d (%d one-hour ghosts dropped, %d outside the study period)\n\n",
+		r.RawRecords, r.CleanRecords, r.RawRecords-r.CleanRecords, r.OutOfPeriod)
 
 	sec("Figure 1", "", func() { printFigure1(ctx, records, model) })
 
@@ -318,8 +320,11 @@ func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record,
 		fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n",
 			r.Handovers.Sessions, r.Handovers.Median, r.Handovers.P70, r.Handovers.P90,
 			r.Handovers.InterBSShare()*100)
-		for kind, count := range r.Handovers.ByKind {
-			fmt.Printf("  %-22s %d\n", kind, count)
+		for k := 0; k < radio.NumHandoverKinds; k++ {
+			kind := radio.HandoverKind(k)
+			if count, ok := r.Handovers.ByKind[kind]; ok {
+				fmt.Printf("  %-22s %d\n", kind, count)
+			}
 		}
 		fmt.Println()
 	})
@@ -363,8 +368,13 @@ func printFigure1(ctx analysis.Context, records []cdr.Record, model *load.Model)
 func printQuality(q *analysis.DataQuality) {
 	fmt.Println("== Data Quality ==")
 	fmt.Println(q.Summary())
-	for class, count := range q.Quarantined {
-		fmt.Printf("  quarantined %-12s %d\n", class, count)
+	classes := make([]string, 0, len(q.Quarantined))
+	for class := range q.Quarantined {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("  quarantined %-12s %d\n", class, q.Quarantined[class])
 	}
 	for _, g := range q.Gaps {
 		fmt.Printf("  coverage gap day %d (%s): %.1f%% of cars vs median %.1f%%\n",
@@ -376,23 +386,27 @@ func printQuality(q *analysis.DataQuality) {
 	fmt.Println()
 }
 
-// runStreaming analyzes a CDR file in one bounded-memory pass,
-// printing the record-level subset of the report (presence, connected
-// time, days, durations, carriers).
-func runStreaming(path string, period simtime.Period, ingest cdr.ResilientConfig) error {
+// runStreaming analyzes a CDR file in one bounded-memory pass. Since
+// the streaming adapter runs the same accumulators as the batch
+// engine, it prints every record-level section of the report:
+// presence, connected time, days, durations, handovers, fleet usage
+// and carriers. (The busy-cell sections additionally need a load
+// source, which a bare CDR file cannot provide.)
+func runStreaming(path string, ctx analysis.Context, ingest cdr.ResilientConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	rr := cdr.NewResilientReader(openReader(path, f), ingest)
-	s := analysis.NewStreaming(period)
+	s := analysis.NewStreamingWithContext(ctx)
 	if err := s.AddAll(rr); err != nil {
 		return err
 	}
 	rep := s.Finalize()
 
-	fmt.Printf("streamed %d records (%d one-hour ghosts dropped)\n\n", rep.Records, rep.GhostsDropped)
+	fmt.Printf("streamed %d records (%d one-hour ghosts dropped, %d outside the study period)\n\n",
+		rep.Records, rep.GhostsDropped, rep.OutOfPeriod)
 	fmt.Printf("== Figure 2 / Table 1: daily presence ==\n")
 	fmt.Printf("population: %d cars, %d cells touched\n", rep.Presence.TotalCars, rep.Presence.TotalCells)
 	fmt.Println(analysis.FormatTable1(rep.WeekdayRows))
@@ -402,10 +416,19 @@ func runStreaming(path string, period simtime.Period, ingest cdr.ResilientConfig
 	fmt.Println(textplot.Histogram("cars per day-count", rep.DaysCount, 72, 8))
 	fmt.Printf("== Figure 9: per-cell durations ==\nmedian ~%.0f s, p73 ~%.0f s, mean full %.0f s / trunc %.0f s\n\n",
 		rep.DurMedian, rep.DurP73, rep.DurFullMean, rep.DurTruncMean)
+	fmt.Printf("== §4.5: handovers per mobility session ==\n")
+	fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n\n",
+		rep.Handovers.Sessions, rep.Handovers.Median, rep.Handovers.P70, rep.Handovers.P90,
+		rep.Handovers.InterBSShare()*100)
+	fmt.Printf("== Fleet usage (24×7, %d aggregate sessions) ==\n", rep.UsageSessions)
+	fmt.Println(textplot.Matrix("fleet usage", &rep.FleetUsage))
 	fmt.Printf("== Table 3: carrier use ==\n")
 	fmt.Println(analysis.FormatTable3(rep.Carriers))
+	for _, se := range rep.StageErrors {
+		fmt.Printf("!! stage %s failed: %s\n", se.Stage, se.Err)
+	}
 
-	quality := analysis.NewDataQuality(rr.Stats(), rep.GhostsDropped, rep.Presence, period)
+	quality := analysis.NewDataQuality(rr.Stats(), rep.GhostsDropped, rep.Presence, ctx.Period)
 	printQuality(quality)
 	return nil
 }
@@ -431,27 +454,32 @@ func readFile(path string, ingest cdr.ResilientConfig) ([]cdr.Record, cdr.Ingest
 	return records, rr.Stats(), err
 }
 
-// sampleCars picks n distinct car ids spread across the stream.
+// sampleCars picks n distinct car ids, deterministically (lowest ids
+// first so repeated runs print the same panels).
 func sampleCars(records []cdr.Record, n int) []cdr.CarID {
 	seen := map[cdr.CarID]int{}
 	for _, r := range records {
 		seen[r.Car]++
 	}
+	ids := make([]cdr.CarID, 0, len(seen))
+	for car := range seen {
+		ids = append(ids, car)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	// Prefer cars with substantial history so the matrices show texture.
 	var out []cdr.CarID
-	for car, count := range seen {
-		if count > 50 {
+	for _, car := range ids {
+		if seen[car] > 50 && len(out) < n {
 			out = append(out, car)
 		}
-		if len(out) == n {
-			break
-		}
 	}
-	for car := range seen {
+	for _, car := range ids {
 		if len(out) >= n {
 			break
 		}
-		out = append(out, car)
+		if seen[car] <= 50 {
+			out = append(out, car)
+		}
 	}
 	return out
 }

@@ -1,0 +1,210 @@
+// Command enginebench measures the sharded analysis engine's
+// throughput and parallel speedup, writing the results as JSON for
+// the repo's benchmark record (BENCH_engine.json).
+//
+// It generates a deterministic ~1M-record workload, runs the full
+// engine at each requested worker count (best of -reps timed runs),
+// verifies that every parallel report is bit-identical to the
+// sequential one, and reports records/sec plus the speedup over
+// workers=1. GOMAXPROCS and NumCPU are recorded so a speedup (or its
+// absence) can be read against the hardware that produced it.
+//
+//	enginebench -records 1000000 -workers 1,4,8 -out BENCH_engine.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+func main() {
+	var (
+		n       = flag.Int("records", 1_000_000, "workload size in records")
+		reps    = flag.Int("reps", 3, "timed runs per worker count (best is kept)")
+		workers = flag.String("workers", "1,4,8", "comma-separated worker counts (first must be 1 for the speedup baseline)")
+		out     = flag.String("out", "BENCH_engine.json", "output JSON file")
+	)
+	flag.Parse()
+
+	counts, err := parseWorkers(*workers)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("generating %d records...\n", *n)
+	records := genWorkload(*n)
+	ctx := benchContext()
+	opts := analysis.RunOptions{BusyCells: benchBusyCells(), Seed: 1, RareDays: []int{2, 5}}
+
+	res := result{
+		Records:    len(records),
+		Reps:       *reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	var baseline *analysis.Report
+	var baseSec float64
+	for _, w := range counts {
+		e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: w})
+		best := 0.0
+		var rep *analysis.Report
+		for r := 0; r < *reps; r++ {
+			t0 := time.Now()
+			rep, err = e.Run(records)
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				fatal("workers=%d: %v", w, err)
+			}
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		if len(rep.StageErrors) != 0 {
+			fatal("workers=%d: stage errors: %+v", w, rep.StageErrors)
+		}
+		if baseline == nil {
+			baseline, baseSec = rep, best
+		} else if !reflect.DeepEqual(baseline, rep) {
+			fatal("workers=%d: report differs from workers=%d — determinism broken", w, counts[0])
+		}
+		run := workerRun{
+			Workers:       w,
+			Seconds:       round3(best),
+			RecordsPerSec: round3(float64(len(records)) / best),
+			Speedup:       round3(baseSec / best),
+		}
+		res.Runs = append(res.Runs, run)
+		fmt.Printf("workers=%d: %.2fs, %.0f records/sec, speedup %.2fx\n",
+			w, run.Seconds, run.RecordsPerSec, run.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// result is the BENCH_engine.json schema.
+type result struct {
+	Records    int         `json:"records"`
+	Reps       int         `json:"reps"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
+	Runs       []workerRun `json:"runs"`
+}
+
+type workerRun struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Speedup       float64 `json:"speedup_vs_sequential"`
+}
+
+// genWorkload builds the deterministic benchmark stream: 4000 cars
+// over a 14-day window across 300 stations, sorted by start time as a
+// real CDR feed would be, with a sprinkle of ghosts and out-of-period
+// records so the ingest filters run too.
+func genWorkload(n int) []cdr.Record {
+	rng := rand.New(rand.NewPCG(2017, 1))
+	start := time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC)
+	records := make([]cdr.Record, 0, n)
+	for i := 0; i < n; i++ {
+		dur := time.Duration(5+rng.Uint64N(1200)) * time.Second
+		off := time.Duration(rng.Uint64N(14*24*3600)) * time.Second
+		switch i % 211 {
+		case 13:
+			dur = clean.GhostDuration
+		case 29:
+			off = -time.Duration(1+rng.Uint64N(24*3600)) * time.Second
+		}
+		records = append(records, cdr.Record{
+			Car: cdr.CarID(rng.Uint64N(4000)),
+			Cell: radio.MakeCellKey(
+				radio.BSID(rng.Uint64N(300)),
+				radio.SectorID(rng.Uint64N(3)),
+				radio.C1+radio.CarrierID(rng.Uint64N(uint64(radio.NumCarriers)))),
+			Start:    start.Add(off),
+			Duration: dur,
+		})
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].Start.Before(records[j].Start)
+	})
+	return records
+}
+
+func benchContext() analysis.Context {
+	return analysis.Context{
+		Period:          simtime.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 14),
+		Load:            hashLoad{},
+		TZOffsetSeconds: -5 * 3600,
+	}
+}
+
+func benchBusyCells() []radio.CellKey {
+	return []radio.CellKey{
+		radio.MakeCellKey(3, 0, radio.C1),
+		radio.MakeCellKey(7, 1, radio.C2),
+		radio.MakeCellKey(11, 0, radio.C3),
+		radio.MakeCellKey(13, 2, radio.C4),
+	}
+}
+
+// hashLoad is a cheap deterministic load source: utilization is a hash
+// of (cell, bin), so the busy-time stages do real work without the
+// synthetic load model's cost dominating the measurement.
+type hashLoad struct{}
+
+func (hashLoad) Utilization(cell radio.CellKey, bin int) float64 {
+	h := uint64(cell)*0x9E3779B97F4A7C15 + uint64(bin)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	return float64(h%1000) / 1000
+}
+
+func (hashLoad) BusyThreshold() float64 { return 0.80 }
+
+func parseWorkers(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		counts = append(counts, w)
+	}
+	if len(counts) == 0 || counts[0] != 1 {
+		return nil, fmt.Errorf("-workers must start with 1 (the speedup baseline), got %q", s)
+	}
+	return counts, nil
+}
+
+func round3(x float64) float64 {
+	f, _ := strconv.ParseFloat(strconv.FormatFloat(x, 'f', 3, 64), 64)
+	return f
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "enginebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,927 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+	"cellcars/internal/stats"
+)
+
+// This file is the single implementation of every per-record analysis
+// stage, expressed as mergeable accumulators. Batch (Run), streaming
+// (Streaming) and parallel (Engine) execution are all thin drivers
+// over the same accumulators, so the stage arithmetic exists exactly
+// once.
+//
+// The mergeability contract: workers feed car-disjoint shards of the
+// record stream (cdr.ShardOfCar), each worker owns a full accumulator
+// set, and partials combine with Merge. Because no car's state is
+// ever split across shards, merging is a union of disjoint per-car
+// state plus integer count addition — results are bit-identical
+// regardless of worker count. The only approximated quantities are
+// the Figure 9 duration quantiles, which fall back to a mergeable
+// log-histogram sketch (±one ~7% bin) once the record population
+// exceeds the exact-sample capacity; the sketch itself is still
+// deterministic across worker counts.
+
+// Accumulator is one paper stage as a mergeable aggregation:
+// Add observes a record, Merge folds in a same-stage accumulator fed
+// from a car-disjoint shard, and Finalize writes the stage's results
+// into the report. Finalize must be non-destructive: accumulators can
+// keep absorbing records and finalize again.
+type Accumulator interface {
+	// Stage returns the stable stage name (see RunOptions.FailStage).
+	Stage() string
+	// Add observes one ghost-free record.
+	Add(r cdr.Record)
+	// Merge folds another accumulator of the same stage into the
+	// receiver. The other accumulator must have been fed a
+	// car-disjoint shard and is consumed by the merge.
+	Merge(o Accumulator)
+	// Finalize computes the stage's results into rep.
+	Finalize(rep *Report) error
+}
+
+// runAccum feeds a record slice to one accumulator and finalizes it
+// into a scratch report — the backing for the standalone per-stage
+// functions, which are thin wrappers over the accumulators. Unlike the
+// engine, wrappers apply no ghost or period filtering: they are
+// period-less primitives over exactly the records given.
+func runAccum(acc Accumulator, records []cdr.Record) *Report {
+	for _, r := range records {
+		acc.Add(r)
+	}
+	rep := &Report{}
+	if err := acc.Finalize(rep); err != nil {
+		// No accumulator in this package returns a finalize error; a
+		// non-nil error here is a programming bug.
+		panic(err)
+	}
+	return rep
+}
+
+// mergeAs asserts o to the receiver's concrete type; a mismatch is an
+// engine bug, not a data condition.
+func mergeAs[T Accumulator](o Accumulator) T {
+	t, ok := o.(T)
+	if !ok {
+		panic(fmt.Sprintf("analysis: merging %T into %T", o, t))
+	}
+	return t
+}
+
+// daysBits is a variable-length day bitmap.
+type daysBits struct {
+	bits []uint64
+}
+
+func (d *daysBits) set(day int) bool {
+	w, b := day/64, uint(day%64)
+	for len(d.bits) <= w {
+		d.bits = append(d.bits, 0)
+	}
+	if d.bits[w]&(1<<b) != 0 {
+		return false
+	}
+	d.bits[w] |= 1 << b
+	return true
+}
+
+func (d *daysBits) count() int {
+	n := 0
+	for _, w := range d.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// or unions another bitmap into d.
+func (d *daysBits) or(o *daysBits) {
+	for len(d.bits) < len(o.bits) {
+		d.bits = append(d.bits, 0)
+	}
+	for i, w := range o.bits {
+		d.bits[i] |= w
+	}
+}
+
+// forEach calls fn for every set day, ascending.
+func (d *daysBits) forEach(fn func(day int)) {
+	for w, word := range d.bits {
+		for ; word != 0; word &= word - 1 {
+			fn(w*64 + bits.TrailingZeros64(word))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// presence — Figure 2 / Table 1
+
+type presenceAcc struct {
+	period   simtime.Period
+	carDays  map[cdr.CarID]*daysBits
+	cellDays map[radio.CellKey]*daysBits
+}
+
+func newPresenceAcc(period simtime.Period) *presenceAcc {
+	return &presenceAcc{
+		period:   period,
+		carDays:  make(map[cdr.CarID]*daysBits),
+		cellDays: make(map[radio.CellKey]*daysBits),
+	}
+}
+
+func (a *presenceAcc) Stage() string { return "presence" }
+
+func (a *presenceAcc) Add(r cdr.Record) {
+	day := a.period.DayIndex(r.Start)
+	if day < 0 {
+		return
+	}
+	db := a.carDays[r.Car]
+	if db == nil {
+		db = &daysBits{}
+		a.carDays[r.Car] = db
+	}
+	db.set(day)
+	cb := a.cellDays[r.Cell]
+	if cb == nil {
+		cb = &daysBits{}
+		a.cellDays[r.Cell] = cb
+	}
+	cb.set(day)
+}
+
+func (a *presenceAcc) Merge(other Accumulator) {
+	o := mergeAs[*presenceAcc](other)
+	for car, db := range o.carDays {
+		if own := a.carDays[car]; own != nil {
+			own.or(db)
+		} else {
+			a.carDays[car] = db
+		}
+	}
+	for cell, db := range o.cellDays {
+		if own := a.cellDays[cell]; own != nil {
+			own.or(db)
+		} else {
+			a.cellDays[cell] = db
+		}
+	}
+}
+
+func (a *presenceAcc) Finalize(rep *Report) error {
+	days := a.period.Days()
+	carsPerDay := make([]int, days)
+	for _, db := range a.carDays {
+		db.forEach(func(day int) { carsPerDay[day]++ })
+	}
+	cellsPerDay := make([]int, days)
+	for _, db := range a.cellDays {
+		db.forEach(func(day int) { cellsPerDay[day]++ })
+	}
+
+	p := DailyPresence{
+		TotalCars:  len(a.carDays),
+		TotalCells: len(a.cellDays),
+		CarsFrac:   make([]float64, days),
+		CellsFrac:  make([]float64, days),
+	}
+	xs := make([]float64, days)
+	for d := 0; d < days; d++ {
+		xs[d] = float64(d)
+		if p.TotalCars > 0 {
+			p.CarsFrac[d] = float64(carsPerDay[d]) / float64(p.TotalCars)
+		}
+		if p.TotalCells > 0 {
+			p.CellsFrac[d] = float64(cellsPerDay[d]) / float64(p.TotalCells)
+		}
+	}
+	p.CarsTrend = stats.Fit(xs, p.CarsFrac)
+	p.CellsTrend = stats.Fit(xs, p.CellsFrac)
+	rep.Presence = p
+	rep.WeekdayRows = Table1(p, a.period)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// connected — Figure 3
+
+type connectedAcc struct {
+	period   simtime.Period
+	fullSec  map[cdr.CarID]int64
+	truncSec map[cdr.CarID]int64
+}
+
+func newConnectedAcc(period simtime.Period) *connectedAcc {
+	return &connectedAcc{
+		period:   period,
+		fullSec:  make(map[cdr.CarID]int64),
+		truncSec: make(map[cdr.CarID]int64),
+	}
+}
+
+func (a *connectedAcc) Stage() string { return "connected" }
+
+func (a *connectedAcc) Add(r cdr.Record) {
+	sec := int64(r.Duration / time.Second)
+	a.fullSec[r.Car] += sec
+	a.truncSec[r.Car] += truncDur(sec, 600)
+}
+
+func (a *connectedAcc) Merge(other Accumulator) {
+	o := mergeAs[*connectedAcc](other)
+	for car, sec := range o.fullSec {
+		a.fullSec[car] += sec
+	}
+	for car, sec := range o.truncSec {
+		a.truncSec[car] += sec
+	}
+}
+
+func (a *connectedAcc) Finalize(rep *Report) error {
+	total := float64(a.period.Seconds())
+	full := make([]float64, 0, len(a.fullSec))
+	trunc := make([]float64, 0, len(a.truncSec))
+	for car, sec := range a.fullSec {
+		full = append(full, float64(sec)/total)
+		trunc = append(trunc, float64(a.truncSec[car])/total)
+	}
+	ct := ConnectedTime{Full: stats.NewCDF(full), Truncated: stats.NewCDF(trunc)}
+	if len(full) > 0 {
+		ct.FullMean = ct.Full.Mean()
+		ct.TruncMean = ct.Truncated.Mean()
+		ct.FullP995 = ct.Full.Quantile(0.995)
+		ct.TruncP995 = ct.Truncated.Quantile(0.995)
+	}
+	rep.Connected = ct
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// days — Figure 6
+
+type daysAcc struct {
+	period  simtime.Period
+	carDays map[cdr.CarID]*daysBits
+}
+
+func newDaysAcc(period simtime.Period) *daysAcc {
+	return &daysAcc{period: period, carDays: make(map[cdr.CarID]*daysBits)}
+}
+
+func (a *daysAcc) Stage() string { return "days" }
+
+func (a *daysAcc) Add(r cdr.Record) {
+	day := a.period.DayIndex(r.Start)
+	if day < 0 {
+		return
+	}
+	db := a.carDays[r.Car]
+	if db == nil {
+		db = &daysBits{}
+		a.carDays[r.Car] = db
+	}
+	db.set(day)
+}
+
+func (a *daysAcc) Merge(other Accumulator) {
+	o := mergeAs[*daysAcc](other)
+	for car, db := range o.carDays {
+		if own := a.carDays[car]; own != nil {
+			own.or(db)
+		} else {
+			a.carDays[car] = db
+		}
+	}
+}
+
+// perCar returns the distinct-day count per car.
+func (a *daysAcc) perCar() map[cdr.CarID]int {
+	out := make(map[cdr.CarID]int, len(a.carDays))
+	for car, db := range a.carDays {
+		out[car] = db.count()
+	}
+	return out
+}
+
+func (a *daysAcc) Finalize(rep *Report) error {
+	h := stats.NewHistogram(0.5, 1, a.period.Days())
+	for _, db := range a.carDays {
+		h.Add(float64(db.count()))
+	}
+	rep.DaysHist = h
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// busy — Figure 7
+
+type busyAcc struct {
+	ctx   Context
+	busy  map[cdr.CarID]time.Duration
+	total map[cdr.CarID]time.Duration
+}
+
+func newBusyAcc(ctx Context) *busyAcc {
+	if ctx.Load == nil {
+		panic("analysis: busy-time accumulation requires a load source")
+	}
+	return &busyAcc{
+		ctx:   ctx,
+		busy:  make(map[cdr.CarID]time.Duration),
+		total: make(map[cdr.CarID]time.Duration),
+	}
+}
+
+func (a *busyAcc) Stage() string { return "busy" }
+
+func (a *busyAcc) Add(r cdr.Record) {
+	busy, total := busyOverlap(a.ctx, r)
+	if total > 0 {
+		a.total[r.Car] += total
+		a.busy[r.Car] += busy
+	}
+}
+
+// busyOverlap apportions one record's connected time across the
+// 15-minute bins it overlaps and splits it into busy vs total using
+// the context's load source — the shared kernel of Figure 7 and the
+// Table 2 segmentation.
+func busyOverlap(ctx Context, r cdr.Record) (busy, total time.Duration) {
+	thresh := ctx.Load.BusyThreshold()
+	first, last := ctx.Period.BinRange(r.Start, r.Duration)
+	for bin := first; bin < last; bin++ {
+		overlap := ctx.Period.OverlapWithBin(bin, r.Start, r.Duration)
+		if overlap <= 0 {
+			continue
+		}
+		total += overlap
+		if ctx.Load.Utilization(r.Cell, bin) > thresh {
+			busy += overlap
+		}
+	}
+	return busy, total
+}
+
+func (a *busyAcc) Merge(other Accumulator) {
+	o := mergeAs[*busyAcc](other)
+	for car, d := range o.busy {
+		a.busy[car] += d
+	}
+	for car, d := range o.total {
+		a.total[car] += d
+	}
+}
+
+func (a *busyAcc) Finalize(rep *Report) error {
+	bt := BusyTime{FracByCar: make(map[cdr.CarID]float64, len(a.total))}
+	fracs := make([]float64, 0, len(a.total))
+	var overHalf, allBusy int
+	for car, tot := range a.total {
+		if tot <= 0 {
+			continue
+		}
+		f := float64(a.busy[car]) / float64(tot)
+		bt.FracByCar[car] = f
+		fracs = append(fracs, f)
+		if f > 0.5 {
+			overHalf++
+		}
+		if f >= 0.99 {
+			allBusy++
+		}
+	}
+	if len(fracs) > 0 {
+		bt.Deciles = stats.Deciles(fracs)
+		bt.OverHalf = float64(overHalf) / float64(len(fracs))
+		bt.AllBusy = float64(allBusy) / float64(len(fracs))
+	}
+	rep.Busy = bt
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// segments — Table 2
+
+// carSegState is one car's segmentation inputs: how many distinct
+// study days it appeared, and how its binned connected time splits
+// busy vs total.
+type carSegState struct {
+	days        daysBits
+	busy, total time.Duration
+}
+
+type segmentsAcc struct {
+	ctx      Context
+	rareDays []int
+	cars     map[cdr.CarID]*carSegState
+}
+
+func newSegmentsAcc(ctx Context, rareDays []int) *segmentsAcc {
+	if ctx.Load == nil {
+		panic("analysis: segmentation requires a load source")
+	}
+	return &segmentsAcc{ctx: ctx, rareDays: rareDays, cars: make(map[cdr.CarID]*carSegState)}
+}
+
+func (a *segmentsAcc) Stage() string { return "segments" }
+
+func (a *segmentsAcc) Add(r cdr.Record) {
+	st := a.cars[r.Car]
+	if st == nil {
+		st = &carSegState{}
+		a.cars[r.Car] = st
+	}
+	if day := a.ctx.Period.DayIndex(r.Start); day >= 0 {
+		st.days.set(day)
+	}
+	busy, total := busyOverlap(a.ctx, r)
+	st.busy += busy
+	st.total += total
+}
+
+func (a *segmentsAcc) Merge(other Accumulator) {
+	o := mergeAs[*segmentsAcc](other)
+	for car, st := range o.cars {
+		own := a.cars[car]
+		if own == nil {
+			a.cars[car] = st
+			continue
+		}
+		own.days.or(&st.days)
+		own.busy += st.busy
+		own.total += st.total
+	}
+}
+
+func (a *segmentsAcc) Finalize(rep *Report) error {
+	// The population is cars seen on at least one study day, matching
+	// the Figure 6 universe.
+	n := 0.0
+	for _, st := range a.cars {
+		if st.days.count() > 0 {
+			n++
+		}
+	}
+	out := make([]Segment, 0, len(a.rareDays))
+	for _, rd := range a.rareDays {
+		seg := Segment{RareDays: rd}
+		if n == 0 {
+			out = append(out, seg)
+			continue
+		}
+		for _, st := range a.cars {
+			d := st.days.count()
+			if d == 0 {
+				continue
+			}
+			f := 0.0
+			classified := st.total > 0
+			if classified {
+				f = float64(st.busy) / float64(st.total)
+			}
+			var bucket *float64
+			rare := d <= rd
+			switch {
+			case classified && f >= BusyCarMinFrac:
+				if rare {
+					bucket = &seg.RareBusy
+				} else {
+					bucket = &seg.CommonBusy
+				}
+			case !classified || f <= NonBusyCarMaxFrac:
+				if rare {
+					bucket = &seg.RareNonBusy
+				} else {
+					bucket = &seg.CommonNonBusy
+				}
+			default:
+				if rare {
+					bucket = &seg.RareBoth
+				} else {
+					bucket = &seg.CommonBoth
+				}
+			}
+			*bucket += 1 / n
+		}
+		out = append(out, seg)
+	}
+	rep.Segments = out
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// durations — Figure 9
+
+// durSampleCap bounds the exact duration sample: populations at or
+// below it yield exact quantiles and an exact CDF; above it the CDF is
+// a uniform 32k-record sample and the quantiles come from the
+// log-histogram sketch (±one ~7% bin).
+const durSampleCap = 1 << 15
+
+type durationsAcc struct {
+	hist   stats.LogHist // truncated durations, for sketched quantiles
+	sample *stats.Sample // truncated durations, for the CDF (exact when complete)
+
+	n                   int64
+	fullSec, fullNano   int64 // exact sums of raw durations
+	truncSec, truncNano int64 // exact sums of 600 s-truncated durations
+}
+
+func newDurationsAcc() *durationsAcc {
+	return &durationsAcc{sample: stats.NewSample(durSampleCap)}
+}
+
+func (a *durationsAcc) Stage() string { return "durations" }
+
+func (a *durationsAcc) Add(r cdr.Record) {
+	d := r.Duration
+	td := d
+	if td > clean.TruncateLimit {
+		td = clean.TruncateLimit
+	}
+	a.n++
+	a.fullSec += int64(d / time.Second)
+	a.fullNano += int64(d % time.Second)
+	a.truncSec += int64(td / time.Second)
+	a.truncNano += int64(td % time.Second)
+	a.hist.Add(td.Seconds())
+	a.sample.Add(cdr.RecordHash(r), td.Seconds())
+}
+
+func (a *durationsAcc) Merge(other Accumulator) {
+	o := mergeAs[*durationsAcc](other)
+	a.hist.Merge(&o.hist)
+	a.sample.Merge(o.sample)
+	a.n += o.n
+	a.fullSec += o.fullSec
+	a.fullNano += o.fullNano
+	a.truncSec += o.truncSec
+	a.truncNano += o.truncNano
+}
+
+func (a *durationsAcc) Finalize(rep *Report) error {
+	values := a.sample.Values()
+	cd := CellDurations{Truncated: stats.NewCDF(values)}
+	if a.n > 0 {
+		if a.sample.Complete() {
+			cd.Median = cd.Truncated.Quantile(0.5)
+			cd.P73 = cd.Truncated.Quantile(0.73)
+		} else {
+			limit := clean.TruncateLimit.Seconds()
+			cd.Median = minF(a.hist.Quantile(0.5), limit)
+			cd.P73 = minF(a.hist.Quantile(0.73), limit)
+		}
+		nf := float64(a.n)
+		cd.FullMean = (float64(a.fullSec) + float64(a.fullNano)*1e-9) / nf
+		cd.TruncMean = (float64(a.truncSec) + float64(a.truncNano)*1e-9) / nf
+	}
+	rep.Durations = cd
+	return nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// handovers — §4.5
+
+type handoverAcc struct {
+	// truncate applies the paper's 600 s cap before sessionizing, as
+	// the full pipeline does; the standalone HandoversOf keeps the
+	// caller's durations.
+	truncate bool
+	z        *clean.Sessionizer
+	byKind   map[radio.HandoverKind]int64
+	counts   []float64
+}
+
+func newHandoverAcc(truncate bool) *handoverAcc {
+	return &handoverAcc{
+		truncate: truncate,
+		z:        clean.NewSessionizer(clean.MobilityGap),
+		byKind:   make(map[radio.HandoverKind]int64),
+	}
+}
+
+func (a *handoverAcc) Stage() string { return "handovers" }
+
+func (a *handoverAcc) Add(r cdr.Record) {
+	if a.truncate && r.Duration > clean.TruncateLimit {
+		r.Duration = clean.TruncateLimit
+	}
+	if s := a.z.Add(r); s != nil {
+		a.account(s)
+	}
+}
+
+func (a *handoverAcc) account(s *clean.Session) {
+	n := 0
+	for kind, c := range s.Handovers() {
+		a.byKind[kind] += int64(c)
+		n += c
+	}
+	a.counts = append(a.counts, float64(n))
+}
+
+func (a *handoverAcc) Merge(other Accumulator) {
+	o := mergeAs[*handoverAcc](other)
+	// The other shard's stream is complete: close its open sessions.
+	for _, s := range o.z.Flush() {
+		s := s
+		o.account(&s)
+	}
+	for kind, c := range o.byKind {
+		a.byKind[kind] += c
+	}
+	a.counts = append(a.counts, o.counts...)
+}
+
+func (a *handoverAcc) Finalize(rep *Report) error {
+	// Work on copies so still-open sessions are counted without being
+	// closed — Finalize must stay repeatable.
+	byKind := make(map[radio.HandoverKind]int64, len(a.byKind))
+	for k, v := range a.byKind {
+		byKind[k] = v
+	}
+	counts := append([]float64(nil), a.counts...)
+	open := a.z.Snapshot()
+	for i := range open {
+		n := 0
+		for kind, c := range open[i].Handovers() {
+			byKind[kind] += int64(c)
+			n += c
+		}
+		counts = append(counts, float64(n))
+	}
+
+	hs := HandoverStats{ByKind: byKind, Sessions: len(counts)}
+	hs.PerSession = stats.NewCDF(counts)
+	if len(counts) > 0 {
+		hs.Median = hs.PerSession.Quantile(0.5)
+		hs.P70 = hs.PerSession.Quantile(0.7)
+		hs.P90 = hs.PerSession.Quantile(0.9)
+	}
+	rep.Handovers = hs
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// carriers — Table 3
+
+type carriersAcc struct {
+	carsOn  map[radio.CarrierID]map[cdr.CarID]struct{}
+	timeOn  map[radio.CarrierID]time.Duration
+	allCars map[cdr.CarID]struct{}
+	total   time.Duration
+}
+
+func newCarriersAcc() *carriersAcc {
+	return &carriersAcc{
+		carsOn:  make(map[radio.CarrierID]map[cdr.CarID]struct{}),
+		timeOn:  make(map[radio.CarrierID]time.Duration),
+		allCars: make(map[cdr.CarID]struct{}),
+	}
+}
+
+func (a *carriersAcc) Stage() string { return "carriers" }
+
+func (a *carriersAcc) Add(r cdr.Record) {
+	c := r.Cell.Carrier()
+	set, ok := a.carsOn[c]
+	if !ok {
+		set = make(map[cdr.CarID]struct{})
+		a.carsOn[c] = set
+	}
+	set[r.Car] = struct{}{}
+	a.allCars[r.Car] = struct{}{}
+	a.timeOn[c] += r.Duration
+	a.total += r.Duration
+}
+
+func (a *carriersAcc) Merge(other Accumulator) {
+	o := mergeAs[*carriersAcc](other)
+	for c, set := range o.carsOn {
+		own, ok := a.carsOn[c]
+		if !ok {
+			a.carsOn[c] = set
+			continue
+		}
+		for car := range set {
+			own[car] = struct{}{}
+		}
+	}
+	for car := range o.allCars {
+		a.allCars[car] = struct{}{}
+	}
+	for c, d := range o.timeOn {
+		a.timeOn[c] += d
+	}
+	a.total += o.total
+}
+
+func (a *carriersAcc) Finalize(rep *Report) error {
+	u := CarrierUsage{
+		CarsFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
+		TimeFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
+		TotalCars: len(a.allCars),
+	}
+	for c := radio.C1; c <= radio.C5; c++ {
+		if len(a.allCars) > 0 {
+			u.CarsFrac[c] = float64(len(a.carsOn[c])) / float64(len(a.allCars))
+		}
+		if a.total > 0 {
+			u.TimeFrac[c] = float64(a.timeOn[c]) / float64(a.total)
+		}
+	}
+	rep.Carriers = u
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// usage — fleet-aggregate 24×7 matrix (the Figure 4/5 encoding over
+// the whole population)
+
+type usageAcc struct {
+	tzOffset int
+	z        *clean.Sessionizer
+	matrix   simtime.WeekMatrix
+	sessions int64
+}
+
+func newUsageAcc(tzOffsetSeconds int) *usageAcc {
+	return &usageAcc{tzOffset: tzOffsetSeconds, z: clean.NewSessionizer(clean.AggregateGap)}
+}
+
+func (a *usageAcc) Stage() string { return "usage" }
+
+func (a *usageAcc) Add(r cdr.Record) {
+	if s := a.z.Add(r); s != nil {
+		markSessionHours(&a.matrix, s, a.tzOffset)
+		a.sessions++
+	}
+}
+
+// markSessionHours marks every local hour-of-week a session touches,
+// once per session — the Figure 5 encoding.
+func markSessionHours(m *simtime.WeekMatrix, s *clean.Session, tzOffsetSeconds int) {
+	start := s.Start
+	end := s.End
+	if end.Sub(start) > 7*24*time.Hour {
+		end = start.Add(7 * 24 * time.Hour) // cap runaway stuck sessions
+	}
+	// Walk hour boundaries so each touched hour is marked exactly
+	// once per session; the truncated first step guarantees the
+	// starting hour is included even for sub-hour sessions.
+	seen := make(map[int]struct{}, 4)
+	for t := start.Truncate(time.Hour); t.Before(end); t = t.Add(time.Hour) {
+		how := simtime.HourOfWeek(t, tzOffsetSeconds)
+		if _, ok := seen[how]; !ok {
+			seen[how] = struct{}{}
+			m.AddHourOfWeek(how, 1)
+		}
+	}
+}
+
+func (a *usageAcc) Merge(other Accumulator) {
+	o := mergeAs[*usageAcc](other)
+	// The other shard's stream is complete: close its open sessions.
+	for _, s := range o.z.Flush() {
+		s := s
+		markSessionHours(&o.matrix, &s, o.tzOffset)
+		o.sessions++
+	}
+	a.matrix.Merge(&o.matrix)
+	a.sessions += o.sessions
+}
+
+func (a *usageAcc) Finalize(rep *Report) error {
+	// Count still-open sessions on a matrix copy so Finalize stays
+	// repeatable as records keep arriving.
+	m := a.matrix
+	sessions := a.sessions
+	open := a.z.Snapshot()
+	for i := range open {
+		markSessionHours(&m, &open[i], a.tzOffset)
+		sessions++
+	}
+	rep.FleetUsage = m
+	rep.UsageSessions = sessions
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// clusters — Figure 11
+
+type clustersAcc struct {
+	ctx       Context
+	seed      uint64
+	busyCells []radio.CellKey
+	idx       map[radio.CellKey]int
+	perCell   [][]map[cdr.CarID]struct{}
+}
+
+func newClustersAcc(ctx Context, busyCells []radio.CellKey, seed uint64) *clustersAcc {
+	a := &clustersAcc{
+		ctx:       ctx,
+		seed:      seed,
+		busyCells: append([]radio.CellKey(nil), busyCells...),
+		idx:       make(map[radio.CellKey]int, len(busyCells)),
+		perCell:   make([][]map[cdr.CarID]struct{}, len(busyCells)),
+	}
+	for i, c := range a.busyCells {
+		a.idx[c] = i
+		a.perCell[i] = make([]map[cdr.CarID]struct{}, ctx.Period.NumBins())
+	}
+	return a
+}
+
+func (a *clustersAcc) Stage() string { return "clusters" }
+
+func (a *clustersAcc) Add(r cdr.Record) {
+	i, ok := a.idx[r.Cell]
+	if !ok {
+		return
+	}
+	first, last := a.ctx.Period.BinRange(r.Start, r.Duration)
+	for b := first; b < last; b++ {
+		if a.perCell[i][b] == nil {
+			a.perCell[i][b] = make(map[cdr.CarID]struct{}, 4)
+		}
+		a.perCell[i][b][r.Car] = struct{}{}
+	}
+}
+
+func (a *clustersAcc) Merge(other Accumulator) {
+	o := mergeAs[*clustersAcc](other)
+	for i := range a.perCell {
+		for b, set := range o.perCell[i] {
+			if set == nil {
+				continue
+			}
+			own := a.perCell[i][b]
+			if own == nil {
+				a.perCell[i][b] = set
+				continue
+			}
+			for car := range set {
+				own[car] = struct{}{}
+			}
+		}
+	}
+}
+
+func (a *clustersAcc) Finalize(rep *Report) error {
+	rep.Clusters = a.finish(rand.New(rand.NewPCG(a.seed, 0xF16)))
+	return nil
+}
+
+// finish folds the per-bin car sets into 96-bin mean-concurrency
+// vectors and clusters them with k-means (k=2), reordering so cluster
+// 0 has the smaller centroid peak. A fresh rng per call keeps
+// Finalize repeatable.
+func (a *clustersAcc) finish(rng *rand.Rand) BusyClusters {
+	res := BusyClusters{}
+	if len(a.busyCells) < 2 {
+		return res
+	}
+	days := a.ctx.Period.Days()
+	vectors := make([][]float64, len(a.busyCells))
+	for i := range a.perCell {
+		v := make([]float64, simtime.BinsPerDay)
+		for b, set := range a.perCell[i] {
+			v[b%simtime.BinsPerDay] += float64(len(set))
+		}
+		for b := range v {
+			v[b] /= float64(days)
+		}
+		vectors[i] = v
+	}
+
+	km := stats.KMeans(vectors, 2, 100, rng)
+	// Order clusters by centroid peak: cluster 0 = smaller.
+	if maxOf(km.Centroids[0]) > maxOf(km.Centroids[1]) {
+		km.Centroids[0], km.Centroids[1] = km.Centroids[1], km.Centroids[0]
+		km.Sizes[0], km.Sizes[1] = km.Sizes[1], km.Sizes[0]
+		for i := range km.Assignments {
+			km.Assignments[i] = 1 - km.Assignments[i]
+		}
+	}
+	res.Cells = append([]radio.CellKey(nil), a.busyCells...)
+	res.Vectors = vectors
+	res.Assignments = km.Assignments
+	res.Sizes = km.Sizes
+	res.Centroids = km.Centroids
+	return res
+}

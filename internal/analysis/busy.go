@@ -2,10 +2,8 @@ package analysis
 
 import (
 	"fmt"
-	"time"
 
 	"cellcars/internal/cdr"
-	"cellcars/internal/stats"
 )
 
 // BusyTime is Figure 7: the distribution over cars of the fraction of
@@ -32,46 +30,7 @@ func BusyTimeOf(records []cdr.Record, ctx Context) BusyTime {
 	if ctx.Load == nil {
 		panic("analysis: BusyTimeOf requires a load source")
 	}
-	busy := make(map[cdr.CarID]time.Duration)
-	total := make(map[cdr.CarID]time.Duration)
-	thresh := ctx.Load.BusyThreshold()
-	forEachRecord(records, func(r cdr.Record) {
-		first, last := ctx.Period.BinRange(r.Start, r.Duration)
-		for bin := first; bin < last; bin++ {
-			overlap := ctx.Period.OverlapWithBin(bin, r.Start, r.Duration)
-			if overlap <= 0 {
-				continue
-			}
-			total[r.Car] += overlap
-			if ctx.Load.Utilization(r.Cell, bin) > thresh {
-				busy[r.Car] += overlap
-			}
-		}
-	})
-
-	bt := BusyTime{FracByCar: make(map[cdr.CarID]float64, len(total))}
-	fracs := make([]float64, 0, len(total))
-	var overHalf, allBusy int
-	for car, tot := range total {
-		if tot <= 0 {
-			continue
-		}
-		f := float64(busy[car]) / float64(tot)
-		bt.FracByCar[car] = f
-		fracs = append(fracs, f)
-		if f > 0.5 {
-			overHalf++
-		}
-		if f >= 0.99 {
-			allBusy++
-		}
-	}
-	if len(fracs) > 0 {
-		bt.Deciles = stats.Deciles(fracs)
-		bt.OverHalf = float64(overHalf) / float64(len(fracs))
-		bt.AllBusy = float64(allBusy) / float64(len(fracs))
-	}
-	return bt
+	return runAccum(newBusyAcc(ctx), records).Busy
 }
 
 // Histogram7a buckets the busy-time fractions into the Figure 7a bars:
@@ -144,47 +103,9 @@ const (
 )
 
 // Segmentation produces Table 2 for the given rare-day thresholds
-// (the paper uses 10 and 30).
+// (the paper uses 10 and 30). It panics without a load source.
 func Segmentation(records []cdr.Record, ctx Context, rareDays ...int) []Segment {
-	bt := BusyTimeOf(records, ctx)
-	days := DaysOnNetwork(records, ctx.Period)
-	out := make([]Segment, 0, len(rareDays))
-	n := float64(len(days))
-	for _, rd := range rareDays {
-		seg := Segment{RareDays: rd}
-		if n == 0 {
-			out = append(out, seg)
-			continue
-		}
-		for car, d := range days {
-			f, ok := bt.FracByCar[car]
-			var bucket *float64
-			rare := d <= rd
-			switch {
-			case ok && f >= BusyCarMinFrac:
-				if rare {
-					bucket = &seg.RareBusy
-				} else {
-					bucket = &seg.CommonBusy
-				}
-			case !ok || f <= NonBusyCarMaxFrac:
-				if rare {
-					bucket = &seg.RareNonBusy
-				} else {
-					bucket = &seg.CommonNonBusy
-				}
-			default:
-				if rare {
-					bucket = &seg.RareBoth
-				} else {
-					bucket = &seg.CommonBoth
-				}
-			}
-			*bucket += 1 / n
-		}
-		out = append(out, seg)
-	}
-	return out
+	return runAccum(newSegmentsAcc(ctx, rareDays), records).Segments
 }
 
 // FormatTable2 renders segmentation rows in the paper's Table 2 layout.

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"time"
 
 	"cellcars/internal/cdr"
 	"cellcars/internal/radio"
@@ -21,37 +20,7 @@ type CarrierUsage struct {
 
 // CarrierUsageOf computes Table 3 from ghost-free records.
 func CarrierUsageOf(records []cdr.Record) CarrierUsage {
-	carsOn := make(map[radio.CarrierID]map[cdr.CarID]struct{})
-	timeOn := make(map[radio.CarrierID]time.Duration)
-	allCars := make(map[cdr.CarID]struct{})
-	var total time.Duration
-	forEachRecord(records, func(r cdr.Record) {
-		c := r.Cell.Carrier()
-		set, ok := carsOn[c]
-		if !ok {
-			set = make(map[cdr.CarID]struct{})
-			carsOn[c] = set
-		}
-		set[r.Car] = struct{}{}
-		allCars[r.Car] = struct{}{}
-		timeOn[c] += r.Duration
-		total += r.Duration
-	})
-
-	u := CarrierUsage{
-		CarsFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
-		TimeFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
-		TotalCars: len(allCars),
-	}
-	for c := radio.C1; c <= radio.C5; c++ {
-		if len(allCars) > 0 {
-			u.CarsFrac[c] = float64(len(carsOn[c])) / float64(len(allCars))
-		}
-		if total > 0 {
-			u.TimeFrac[c] = float64(timeOn[c]) / float64(total)
-		}
-	}
-	return u
+	return runAccum(newCarriersAcc(), records).Carriers
 }
 
 // FormatTable3 renders carrier usage in the paper's Table 3 layout.

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/simtime"
+)
+
+// Engine executes the full §4 analysis pipeline over a CDR source by
+// sharding the stream by car hash across workers, running one complete
+// accumulator set per shard, and merging the partials into a Report.
+// Because shards are car-disjoint and every accumulator merges by
+// union, the report is bit-identical for any worker count on the exact
+// stages; only the Figure 9 duration quantiles may switch to a
+// deterministic sketch at large scale (see CellDurations).
+//
+// Record handling policy, shared by Run, Streaming and the engine:
+// exactly-one-hour ghosts are dropped (§3), and records starting
+// outside the study period are excluded from every analysis and
+// counted in Report.OutOfPeriod. (Historically the batch path fed
+// out-of-period records to period-less stages like Table 3 while the
+// streaming path partially excluded them; the engine makes exclusion
+// the single documented behavior.)
+type Engine struct {
+	ctx  Context
+	opts EngineOptions
+}
+
+// EngineOptions configures an Engine run.
+type EngineOptions struct {
+	RunOptions
+	// Workers is the shard/goroutine count. Values below 1 mean 1.
+	Workers int
+}
+
+// NewEngine returns an engine over the context. Defaults mirror Run:
+// RareDays {10, 30}, Seed 1, Workers 1.
+func NewEngine(ctx Context, opts EngineOptions) *Engine {
+	if opts.RareDays == nil {
+		opts.RareDays = []int{10, 30}
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	return &Engine{ctx: ctx, opts: opts}
+}
+
+// Run analyzes an in-memory record slice. The input is not modified.
+func (e *Engine) Run(records []cdr.Record) (*Report, error) {
+	n := e.opts.Workers
+	shards := cdr.ShardSlices(records, n)
+	sets := make([]*accumSet, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		sets[i] = newAccumSet(e.ctx, e.opts)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sets[i].addRecords(shards[i])
+		}()
+	}
+	wg.Wait()
+	return e.merge(sets), nil
+}
+
+// RunReader analyzes a streaming source without materializing it. A
+// source read error aborts the run.
+func (e *Engine) RunReader(r cdr.Reader) (*Report, error) {
+	n := e.opts.Workers
+	readers := cdr.ShardReaders(r, n)
+	sets := make([]*accumSet, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		sets[i] = newAccumSet(e.ctx, e.opts)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = sets[i].addReader(readers[i])
+		}()
+	}
+	wg.Wait()
+	// Every shard reader observes the same source error; report one.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.merge(sets), nil
+}
+
+// merge folds worker partials (in shard order, for determinism) and
+// finalizes the report.
+func (e *Engine) merge(sets []*accumSet) *Report {
+	root := sets[0]
+	for _, s := range sets[1:] {
+		root.merge(s)
+	}
+	return root.finalize()
+}
+
+// engineStageOrder is the canonical stage sequence; finalization and
+// FailStage naming follow it.
+var engineStageOrder = []string{
+	"presence", "connected", "days", "segments", "busy",
+	"durations", "handovers", "carriers", "usage", "clusters",
+}
+
+// accumSet is one worker's full set of stage accumulators plus the
+// shared ingest counters. Stage isolation from the batch pipeline is
+// preserved: a stage that panics while absorbing records is dropped
+// from the set and recorded as a StageError; the other stages keep
+// running.
+type accumSet struct {
+	period simtime.Period
+
+	raw         int64
+	ghosts      int64
+	outOfPeriod int64
+	accepted    int64
+
+	// stages holds the live accumulators in engineStageOrder positions;
+	// a failed or disabled stage is nil.
+	stages []Accumulator
+	errs   []StageError
+
+	batch []cdr.Record
+}
+
+// accumBatchSize bounds how many records one isolated stage Add call
+// covers; one recover per (stage, batch) amortizes the defer cost.
+const accumBatchSize = 1024
+
+// newAccumSet builds the accumulators a context supports. Load-less
+// contexts skip the load-dependent stages, mirroring Run; FailStage
+// marks its stage failed up front.
+func newAccumSet(ctx Context, opts EngineOptions) *accumSet {
+	s := &accumSet{
+		period: ctx.Period,
+		stages: make([]Accumulator, len(engineStageOrder)),
+		batch:  make([]cdr.Record, 0, accumBatchSize),
+	}
+	for i, name := range engineStageOrder {
+		var acc Accumulator
+		switch name {
+		case "presence":
+			acc = newPresenceAcc(ctx.Period)
+		case "connected":
+			acc = newConnectedAcc(ctx.Period)
+		case "days":
+			acc = newDaysAcc(ctx.Period)
+		case "segments":
+			if ctx.Load != nil {
+				acc = newSegmentsAcc(ctx, opts.RareDays)
+			}
+		case "busy":
+			if ctx.Load != nil {
+				acc = newBusyAcc(ctx)
+			}
+		case "durations":
+			acc = newDurationsAcc()
+		case "handovers":
+			acc = newHandoverAcc(true)
+		case "carriers":
+			acc = newCarriersAcc()
+		case "usage":
+			acc = newUsageAcc(ctx.TZOffsetSeconds)
+		case "clusters":
+			if ctx.Load != nil && len(opts.BusyCells) >= 2 {
+				acc = newClustersAcc(ctx, opts.BusyCells, opts.Seed)
+			}
+		}
+		if acc != nil && name == opts.FailStage {
+			s.stages[i] = nil
+			s.errs = append(s.errs, StageError{Stage: name, Err: "injected failure (FailStage)"})
+			continue
+		}
+		s.stages[i] = acc
+	}
+	return s
+}
+
+// add buffers one raw record, applying the ghost and study-period
+// filters, and flushes full batches into the stages.
+func (s *accumSet) add(r cdr.Record) {
+	s.raw++
+	if r.Duration == clean.GhostDuration {
+		s.ghosts++
+		return
+	}
+	if s.period.DayIndex(r.Start) < 0 {
+		s.outOfPeriod++
+		return
+	}
+	s.accepted++
+	s.batch = append(s.batch, r)
+	if len(s.batch) >= accumBatchSize {
+		s.flush()
+	}
+}
+
+func (s *accumSet) addRecords(records []cdr.Record) {
+	for _, r := range records {
+		s.add(r)
+	}
+	s.flush()
+}
+
+func (s *accumSet) addReader(r cdr.Reader) error {
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			s.flush()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		s.add(rec)
+	}
+}
+
+// flush feeds the buffered batch to every live stage, isolating each:
+// a stage that panics is dropped and recorded, the rest continue.
+func (s *accumSet) flush() {
+	if len(s.batch) == 0 {
+		return
+	}
+	for i, acc := range s.stages {
+		if acc == nil {
+			continue
+		}
+		if err := s.feedStage(acc, s.batch); err != nil {
+			s.stages[i] = nil
+			s.errs = append(s.errs, StageError{Stage: acc.Stage(), Err: err.Error()})
+		}
+	}
+	s.batch = s.batch[:0]
+}
+
+// feedStage adds one batch to one accumulator, converting a panic into
+// an error.
+func (s *accumSet) feedStage(acc Accumulator, batch []cdr.Record) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	for _, r := range batch {
+		acc.Add(r)
+	}
+	return nil
+}
+
+// merge folds another worker's partials into s. A stage failed in
+// either worker is failed in the result (first error wins).
+func (s *accumSet) merge(o *accumSet) {
+	o.flush()
+	s.raw += o.raw
+	s.ghosts += o.ghosts
+	s.outOfPeriod += o.outOfPeriod
+	s.accepted += o.accepted
+	for _, e := range o.errs {
+		if !s.hasError(e.Stage) {
+			s.errs = append(s.errs, e)
+		}
+	}
+	for i := range s.stages {
+		switch {
+		case s.hasError(engineStageOrder[i]):
+			s.stages[i] = nil
+		case s.stages[i] == nil || o.stages[i] == nil:
+			// Stage disabled by context in both workers (or failed,
+			// handled above).
+		default:
+			s.stages[i].Merge(o.stages[i])
+		}
+	}
+}
+
+func (s *accumSet) hasError(stage string) bool {
+	for i := range s.errs {
+		if s.errs[i].Stage == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// finalize produces the report, isolating each stage's Finalize like
+// its Adds.
+func (s *accumSet) finalize() *Report {
+	s.flush()
+	rep := &Report{
+		RawRecords:   int(s.raw),
+		CleanRecords: int(s.raw - s.ghosts),
+		OutOfPeriod:  s.outOfPeriod,
+	}
+	rep.StageErrors = append(rep.StageErrors, s.errs...)
+	for i, acc := range s.stages {
+		if acc == nil {
+			continue
+		}
+		if err := finalizeStage(acc, rep); err != nil {
+			rep.StageErrors = append(rep.StageErrors, StageError{Stage: engineStageOrder[i], Err: err.Error()})
+		}
+	}
+	return rep
+}
+
+func finalizeStage(acc Accumulator, rep *Report) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return acc.Finalize(rep)
+}

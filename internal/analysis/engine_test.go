@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+// engineWorkload generates a deterministic raw workload that exercises
+// every stage and both ingest filters: many cars across many cells and
+// carriers, ghost records, and records outside the study period.
+func engineWorkload(n int) []cdr.Record {
+	rng := rand.New(rand.NewPCG(42, 1))
+	records := make([]cdr.Record, 0, n)
+	for i := 0; i < n; i++ {
+		car := cdr.CarID(rng.Uint64N(400))
+		bs := radio.BSID(rng.Uint64N(120))
+		sector := radio.SectorID(rng.Uint64N(3))
+		carrier := radio.C1 + radio.CarrierID(rng.Uint64N(uint64(radio.NumCarriers)))
+		start := time.Duration(rng.Uint64N(14*24*3600)) * time.Second
+		dur := time.Duration(5+rng.Uint64N(1200)) * time.Second
+		switch i % 97 {
+		case 13: // ghost
+			dur = clean.GhostDuration
+		case 29: // before the period
+			start = -time.Duration(1+rng.Uint64N(48*3600)) * time.Second
+		case 71: // after the period
+			start = time.Duration(14*24*3600+rng.Uint64N(48*3600)) * time.Second
+		}
+		records = append(records, cdr.Record{
+			Car:      car,
+			Cell:     radio.MakeCellKey(bs, sector, carrier),
+			Start:    t0.Add(start),
+			Duration: dur,
+		})
+	}
+	// Keep per-car time order (required by the sessionizing stages):
+	// sort by start, stable to preserve generation order on ties.
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].Start.Before(records[j].Start)
+	})
+	return records
+}
+
+func engineCtx() Context {
+	return Context{
+		Period: simtime.NewPeriod(t0, 14),
+		Load: &fixedLoad{busy: map[radio.CellKey]bool{
+			radio.MakeCellKey(3, 0, radio.C1): true,
+			radio.MakeCellKey(3, 1, radio.C2): true,
+			radio.MakeCellKey(7, 0, radio.C3): true,
+		}},
+		TZOffsetSeconds: -5 * 3600,
+	}
+}
+
+func engineBusyCells() []radio.CellKey {
+	return []radio.CellKey{
+		radio.MakeCellKey(3, 0, radio.C1),
+		radio.MakeCellKey(3, 1, radio.C2),
+		radio.MakeCellKey(7, 0, radio.C3),
+		radio.MakeCellKey(11, 0, radio.C4),
+	}
+}
+
+// TestEngineWorkerCountEquivalence is the core determinism guarantee:
+// the full report is bit-identical for any worker count. The workload
+// is large enough that the duration quantiles use the sketch path, so
+// the sketch's merge determinism is covered too.
+func TestEngineWorkerCountEquivalence(t *testing.T) {
+	records := engineWorkload(40000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+
+	var reports []*Report
+	for _, workers := range []int{1, 3, 8} {
+		e := NewEngine(ctx, EngineOptions{RunOptions: opts, Workers: workers})
+		rep, err := e.Run(records)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rep.StageErrors) != 0 {
+			t.Fatalf("workers=%d: stage errors %+v", workers, rep.StageErrors)
+		}
+		reports = append(reports, rep)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("report for worker count %d differs from workers=1", []int{1, 3, 8}[i])
+		}
+	}
+
+	// Sanity: the workload exercised every filter and stage.
+	rep := reports[0]
+	if rep.OutOfPeriod == 0 || rep.RawRecords == rep.CleanRecords {
+		t.Fatalf("workload did not exercise filters: %+v", rep)
+	}
+	if rep.Presence.TotalCars == 0 || rep.Handovers.Sessions == 0 ||
+		len(rep.Segments) != 2 || len(rep.Clusters.Sizes) != 2 || rep.UsageSessions == 0 {
+		t.Fatal("workload did not exercise every stage")
+	}
+	if rep.Durations.Median <= 0 {
+		t.Fatal("no duration median")
+	}
+}
+
+// TestEngineMatchesRun pins Run as a thin adapter: Run with Workers=8
+// equals the engine, equals Run sequential.
+func TestEngineMatchesRun(t *testing.T) {
+	records := engineWorkload(8000)
+	ctx := engineCtx()
+
+	seq, err := Run(records, ctx, RunOptions{BusyCells: engineBusyCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(records, ctx, RunOptions{BusyCells: engineBusyCells(), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("Run(Workers=8) differs from sequential Run")
+	}
+}
+
+// TestEngineReaderMatchesSlices: the streaming shard-reader path must
+// produce the identical report to the in-memory path.
+func TestEngineReaderMatchesSlices(t *testing.T) {
+	records := engineWorkload(8000)
+	ctx := engineCtx()
+	opts := EngineOptions{RunOptions: RunOptions{BusyCells: engineBusyCells()}, Workers: 4}
+
+	mem, err := NewEngine(ctx, opts).Run(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := NewEngine(ctx, opts).RunReader(cdr.NewSliceReader(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mem, str) {
+		t.Fatal("RunReader differs from Run")
+	}
+}
+
+// TestEngineDurationQuantileTolerance documents the sketch contract:
+// beyond the exact-sample capacity the duration quantiles come from
+// the log histogram and must stay within one ~7% bin of the exact
+// value computed from the full data.
+func TestEngineDurationQuantileTolerance(t *testing.T) {
+	records := engineWorkload(40000)
+	ctx := engineCtx()
+	rep, err := NewEngine(ctx, EngineOptions{Workers: 4}).Run(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact reference over the accepted (ghost-free, in-period) stream.
+	var trunc []float64
+	for _, r := range records {
+		if r.Duration == clean.GhostDuration || ctx.Period.DayIndex(r.Start) < 0 {
+			continue
+		}
+		sec := r.Duration.Seconds()
+		if sec > 600 {
+			sec = 600
+		}
+		trunc = append(trunc, sec)
+	}
+	if len(trunc) <= durSampleCap {
+		t.Fatalf("workload too small to exercise the sketch: %d", len(trunc))
+	}
+	sort.Float64s(trunc)
+	med := trunc[(len(trunc)-1)/2]
+	ratio := rep.Durations.Median / med
+	if ratio < 0.90 || ratio > 1.12 {
+		t.Fatalf("sketched median %v vs exact %v (ratio %v)", rep.Durations.Median, med, ratio)
+	}
+}
+
+// TestEngineFailStageAcrossWorkers: chaos injection must drop exactly
+// the named stage in every worker and leave independent stages —
+// notably segments, which derives busy fractions itself — intact.
+func TestEngineFailStageAcrossWorkers(t *testing.T) {
+	records := engineWorkload(4000)
+	ctx := engineCtx()
+	e := NewEngine(ctx, EngineOptions{RunOptions: RunOptions{FailStage: "busy"}, Workers: 8})
+	rep, err := e.Run(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail := rep.Failed("busy"); fail == nil {
+		t.Fatalf("injected failure not recorded: %+v", rep.StageErrors)
+	}
+	if len(rep.StageErrors) != 1 {
+		t.Fatalf("extra failures: %+v", rep.StageErrors)
+	}
+	if len(rep.Busy.FracByCar) != 0 {
+		t.Fatal("failed stage still produced output")
+	}
+	if len(rep.Segments) != 2 || rep.Segments[0].RareTotal()+rep.Segments[0].CommonTotal() < 0.99 {
+		t.Fatalf("segments must survive a busy-stage failure: %+v", rep.Segments)
+	}
+	if rep.Presence.TotalCars == 0 {
+		t.Fatal("presence lost")
+	}
+}
+
+// TestEngineOutOfPeriodPolicy is the regression test for the unified
+// record-handling policy: a record outside the study period appears in
+// no analysis — not even the period-less ones like Table 3 — and is
+// counted in OutOfPeriod. Historically batch and streaming diverged
+// here.
+func TestEngineOutOfPeriodPolicy(t *testing.T) {
+	period := simtime.NewPeriod(t0, 7)
+	ctx := Context{Period: period}
+	in := rec(1, cell(1), 24*time.Hour, 100*time.Second)
+	before := rec(2, cell(2), -48*time.Hour, 100*time.Second)
+	after := rec(3, cell(3), 9*24*time.Hour, 100*time.Second)
+
+	for _, workers := range []int{1, 4} {
+		rep, err := NewEngine(ctx, EngineOptions{Workers: workers}).Run([]cdr.Record{before, in, after})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OutOfPeriod != 2 {
+			t.Fatalf("workers=%d: OutOfPeriod = %d, want 2", workers, rep.OutOfPeriod)
+		}
+		if rep.Presence.TotalCars != 1 {
+			t.Fatalf("workers=%d: presence sees %d cars", workers, rep.Presence.TotalCars)
+		}
+		if rep.Carriers.TotalCars != 1 {
+			t.Fatalf("workers=%d: carriers see %d cars, want out-of-period cars excluded", workers, rep.Carriers.TotalCars)
+		}
+		if got := rep.Connected.Full.N(); got != 1 {
+			t.Fatalf("workers=%d: connected CDF over %d cars", workers, got)
+		}
+		if rep.CleanRecords != 3 {
+			t.Fatalf("workers=%d: clean records = %d", workers, rep.CleanRecords)
+		}
+	}
+
+	// Streaming applies the identical policy.
+	s := NewStreaming(period)
+	s.Add(before)
+	s.Add(in)
+	s.Add(after)
+	srep := s.Finalize()
+	if srep.OutOfPeriod != 2 || srep.Carriers.TotalCars != 1 {
+		t.Fatalf("streaming policy differs: out=%d cars=%d", srep.OutOfPeriod, srep.Carriers.TotalCars)
+	}
+}
+
+// TestStreamingWithContextCoversLoadStages: the streaming adapter now
+// covers Table 2 and Figure 7 when given a load source, matching the
+// batch pipeline exactly.
+func TestStreamingWithContextCoversLoadStages(t *testing.T) {
+	records := engineWorkload(4000)
+	ctx := engineCtx()
+
+	s := NewStreamingWithContext(ctx)
+	if err := s.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	srep := s.Finalize()
+
+	rep, err := Run(records, ctx, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srep.Busy, rep.Busy) {
+		t.Fatal("streaming busy time differs from batch")
+	}
+	if !reflect.DeepEqual(srep.Segments, rep.Segments) {
+		t.Fatal("streaming segmentation differs from batch")
+	}
+	if !reflect.DeepEqual(srep.Handovers, rep.Handovers) {
+		t.Fatal("streaming handovers differ from batch")
+	}
+	if !reflect.DeepEqual(srep.FleetUsage, rep.FleetUsage) {
+		t.Fatal("streaming fleet usage differs from batch")
+	}
+}

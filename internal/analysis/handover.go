@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"cellcars/internal/cdr"
-	"cellcars/internal/clean"
 	"cellcars/internal/radio"
 	"cellcars/internal/stats"
 )
@@ -25,30 +24,10 @@ type HandoverStats struct {
 // HandoversOf computes §4.5 from ghost-free, time-sorted records.
 // Sessions with a single connection (zero possible handovers) count
 // toward the distribution, as the paper's lower-bound methodology
-// implies.
+// implies. Durations are used as given; the full pipeline applies the
+// §3 truncation before sessionizing (see Engine).
 func HandoversOf(records []cdr.Record) (HandoverStats, error) {
-	hs := HandoverStats{ByKind: make(map[radio.HandoverKind]int64)}
-	sessions, err := clean.Sessions(cdr.NewSliceReader(records), clean.MobilityGap)
-	if err != nil {
-		return hs, err
-	}
-	counts := make([]float64, 0, len(sessions))
-	for i := range sessions {
-		n := 0
-		for kind, c := range sessions[i].Handovers() {
-			hs.ByKind[kind] += int64(c)
-			n += c
-		}
-		counts = append(counts, float64(n))
-	}
-	hs.Sessions = len(sessions)
-	hs.PerSession = stats.NewCDF(counts)
-	if len(counts) > 0 {
-		hs.Median = hs.PerSession.Quantile(0.5)
-		hs.P70 = hs.PerSession.Quantile(0.7)
-		hs.P90 = hs.PerSession.Quantile(0.9)
-	}
-	return hs, nil
+	return runAccum(newHandoverAcc(false), records).Handovers, nil
 }
 
 // InterBSShare returns the fraction of all handovers that cross base

@@ -136,27 +136,12 @@ type CellDurations struct {
 	FullMean, TruncMean float64
 }
 
-// CellDurationsOf computes Figure 9 from ghost-free records.
+// CellDurationsOf computes Figure 9 from ghost-free records. The means
+// are always exact; the CDF and quantiles are exact up to the duration
+// sample capacity (32768 records) and deterministically sketched
+// beyond it (see CellDurations.Truncated).
 func CellDurationsOf(records []cdr.Record) CellDurations {
-	const limit = 600.0
-	full := make([]float64, 0, len(records))
-	trunc := make([]float64, 0, len(records))
-	for _, r := range records {
-		sec := r.Duration.Seconds()
-		full = append(full, sec)
-		if sec > limit {
-			sec = limit
-		}
-		trunc = append(trunc, sec)
-	}
-	cd := CellDurations{Truncated: stats.NewCDF(trunc)}
-	if len(trunc) > 0 {
-		cd.Median = cd.Truncated.Quantile(0.5)
-		cd.P73 = cd.Truncated.Quantile(0.73)
-		cd.FullMean = stats.Mean(full)
-		cd.TruncMean = cd.Truncated.Mean()
-	}
-	return cd
+	return runAccum(newDurationsAcc(), records).Durations
 }
 
 // CellWeekResult is Figure 10: one cell over one week — concurrent
@@ -253,60 +238,12 @@ func maxOf(xs []float64) float64 {
 // vectors), as they would in the paper's pipeline. Returns an empty
 // result when fewer than two cells are given.
 func ClusterBusyCells(records []cdr.Record, ctx Context, busyCells []radio.CellKey, rng *rand.Rand) BusyClusters {
-	res := BusyClusters{}
 	if len(busyCells) < 2 {
-		return res
+		return BusyClusters{}
 	}
-	idx := make(map[radio.CellKey]int, len(busyCells))
-	for i, c := range busyCells {
-		idx[c] = i
+	a := newClustersAcc(ctx, busyCells, 1)
+	for _, r := range records {
+		a.Add(r)
 	}
-	days := ctx.Period.Days()
-	// Count distinct cars per (cell, study bin) via per-bin sets, then
-	// fold to 96 bins.
-	perCell := make([][]map[cdr.CarID]struct{}, len(busyCells))
-	for i := range perCell {
-		perCell[i] = make([]map[cdr.CarID]struct{}, ctx.Period.NumBins())
-	}
-	forEachRecord(records, func(r cdr.Record) {
-		i, ok := idx[r.Cell]
-		if !ok {
-			return
-		}
-		first, last := ctx.Period.BinRange(r.Start, r.Duration)
-		for b := first; b < last; b++ {
-			if perCell[i][b] == nil {
-				perCell[i][b] = make(map[cdr.CarID]struct{}, 4)
-			}
-			perCell[i][b][r.Car] = struct{}{}
-		}
-	})
-
-	vectors := make([][]float64, len(busyCells))
-	for i := range perCell {
-		v := make([]float64, simtime.BinsPerDay)
-		for b, set := range perCell[i] {
-			v[b%simtime.BinsPerDay] += float64(len(set))
-		}
-		for b := range v {
-			v[b] /= float64(days)
-		}
-		vectors[i] = v
-	}
-
-	km := stats.KMeans(vectors, 2, 100, rng)
-	// Order clusters by centroid peak: cluster 0 = smaller.
-	if maxOf(km.Centroids[0]) > maxOf(km.Centroids[1]) {
-		km.Centroids[0], km.Centroids[1] = km.Centroids[1], km.Centroids[0]
-		km.Sizes[0], km.Sizes[1] = km.Sizes[1], km.Sizes[0]
-		for i := range km.Assignments {
-			km.Assignments[i] = 1 - km.Assignments[i]
-		}
-	}
-	res.Cells = append([]radio.CellKey(nil), busyCells...)
-	res.Vectors = vectors
-	res.Assignments = km.Assignments
-	res.Sizes = km.Sizes
-	res.Centroids = km.Centroids
-	return res
+	return a.finish(rng)
 }

@@ -2,10 +2,8 @@ package analysis
 
 import (
 	"fmt"
-	"time"
 
 	"cellcars/internal/cdr"
-	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
 	"cellcars/internal/stats"
 )
@@ -28,81 +26,7 @@ type DailyPresence struct {
 // DailyPresenceOf computes Figure 2 from a record stream. A car or
 // cell counts as present on the day a connection starts.
 func DailyPresenceOf(records []cdr.Record, period simtime.Period) DailyPresence {
-	days := period.Days()
-	carDay := make(map[cdr.CarID]uint64)
-	cellDay := make(map[radio.CellKey]uint64)
-	carsPerDay := make([]int, days)
-	cellsPerDay := make([]int, days)
-
-	// Presence bitmaps keyed per car/cell: uint64 words, enough for the
-	// 90-day default; longer periods fall back to day-count dedup below.
-	useBitmap := days <= 64
-	type daySet map[int]struct{}
-	var carDays map[cdr.CarID]daySet
-	var cellDays map[radio.CellKey]daySet
-	if !useBitmap {
-		carDays = make(map[cdr.CarID]daySet)
-		cellDays = make(map[radio.CellKey]daySet)
-	}
-
-	forEachRecord(records, func(r cdr.Record) {
-		day := period.DayIndex(r.Start)
-		if day < 0 {
-			return
-		}
-		if useBitmap {
-			bit := uint64(1) << uint(day)
-			if carDay[r.Car]&bit == 0 {
-				carDay[r.Car] |= bit
-				carsPerDay[day]++
-			}
-			if cellDay[r.Cell]&bit == 0 {
-				cellDay[r.Cell] |= bit
-				cellsPerDay[day]++
-			}
-		} else {
-			cs, ok := carDays[r.Car]
-			if !ok {
-				cs = make(daySet)
-				carDays[r.Car] = cs
-			}
-			if _, seen := cs[day]; !seen {
-				cs[day] = struct{}{}
-				carsPerDay[day]++
-			}
-			ls, ok := cellDays[r.Cell]
-			if !ok {
-				ls = make(daySet)
-				cellDays[r.Cell] = ls
-			}
-			if _, seen := ls[day]; !seen {
-				ls[day] = struct{}{}
-				cellsPerDay[day]++
-			}
-		}
-	})
-
-	var p DailyPresence
-	if useBitmap {
-		p.TotalCars, p.TotalCells = len(carDay), len(cellDay)
-	} else {
-		p.TotalCars, p.TotalCells = len(carDays), len(cellDays)
-	}
-	p.CarsFrac = make([]float64, days)
-	p.CellsFrac = make([]float64, days)
-	xs := make([]float64, days)
-	for d := 0; d < days; d++ {
-		xs[d] = float64(d)
-		if p.TotalCars > 0 {
-			p.CarsFrac[d] = float64(carsPerDay[d]) / float64(p.TotalCars)
-		}
-		if p.TotalCells > 0 {
-			p.CellsFrac[d] = float64(cellsPerDay[d]) / float64(p.TotalCells)
-		}
-	}
-	p.CarsTrend = stats.Fit(xs, p.CarsFrac)
-	p.CellsTrend = stats.Fit(xs, p.CellsFrac)
-	return p
+	return runAccum(newPresenceAcc(period), records).Presence
 }
 
 // WeekdayRow is one row of Table 1: mean and sample standard deviation
@@ -155,55 +79,17 @@ func FormatTable1(rows []WeekdayRow) string {
 // DaysOnNetwork returns, per car, the number of distinct study days
 // with at least one connection — the quantity of Figure 6.
 func DaysOnNetwork(records []cdr.Record, period simtime.Period) map[cdr.CarID]int {
-	days := make(map[cdr.CarID]uint64)
-	spill := make(map[cdr.CarID]map[int]struct{})
-	useBitmap := period.Days() <= 64
-	forEachRecord(records, func(r cdr.Record) {
-		day := period.DayIndex(r.Start)
-		if day < 0 {
-			return
-		}
-		if useBitmap {
-			days[r.Car] |= uint64(1) << uint(day)
-		} else {
-			s, ok := spill[r.Car]
-			if !ok {
-				s = make(map[int]struct{})
-				spill[r.Car] = s
-			}
-			s[day] = struct{}{}
-		}
-	})
-	out := make(map[cdr.CarID]int)
-	if useBitmap {
-		for car, bits := range days {
-			out[car] = popcount(bits)
-		}
-	} else {
-		for car, s := range spill {
-			out[car] = len(s)
-		}
+	a := newDaysAcc(period)
+	for _, r := range records {
+		a.Add(r)
 	}
-	return out
+	return a.perCar()
 }
 
 // DaysHistogram bins DaysOnNetwork counts into a Figure 6 histogram
 // with one bin per possible day count (1..Days).
 func DaysHistogram(records []cdr.Record, period simtime.Period) *stats.Histogram {
-	h := stats.NewHistogram(0.5, 1, period.Days())
-	for _, n := range DaysOnNetwork(records, period) {
-		h.Add(float64(n))
-	}
-	return h
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
+	return runAccum(newDaysAcc(period), records).DaysHist
 }
 
 // ConnectedTime is Figure 3: the distribution over cars of total time
@@ -221,27 +107,5 @@ type ConnectedTime struct {
 // ConnectedTimeOf computes Figure 3. Records should be ghost-free; the
 // function derives the truncated variant itself.
 func ConnectedTimeOf(records []cdr.Record, period simtime.Period) ConnectedTime {
-	const limitSec = 600
-	fullByCar := make(map[cdr.CarID]int64)
-	truncByCar := make(map[cdr.CarID]int64)
-	forEachRecord(records, func(r cdr.Record) {
-		sec := int64(r.Duration / time.Second)
-		fullByCar[r.Car] += sec
-		truncByCar[r.Car] += truncDur(sec, limitSec)
-	})
-	total := float64(period.Seconds())
-	full := make([]float64, 0, len(fullByCar))
-	trunc := make([]float64, 0, len(truncByCar))
-	for car, sec := range fullByCar {
-		full = append(full, float64(sec)/total)
-		trunc = append(trunc, float64(truncByCar[car])/total)
-	}
-	ct := ConnectedTime{Full: stats.NewCDF(full), Truncated: stats.NewCDF(trunc)}
-	if len(full) > 0 {
-		ct.FullMean = ct.Full.Mean()
-		ct.TruncMean = ct.Truncated.Mean()
-		ct.FullP995 = ct.Full.Quantile(0.995)
-		ct.TruncP995 = ct.Truncated.Quantile(0.995)
-	}
-	return ct
+	return runAccum(newConnectedAcc(period), records).Connected
 }

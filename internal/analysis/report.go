@@ -1,12 +1,9 @@
 package analysis
 
 import (
-	"fmt"
-	"math/rand/v2"
-
 	"cellcars/internal/cdr"
-	"cellcars/internal/clean"
 	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
 	"cellcars/internal/stats"
 )
 
@@ -30,12 +27,22 @@ type Report struct {
 	Handovers HandoverStats
 	// Carriers covers Table 3.
 	Carriers CarrierUsage
+	// FleetUsage is the fleet-wide 24×7 usage matrix (the Figure 5
+	// encoding aggregated over the whole population): per local hour of
+	// week, the number of aggregate sessions touching it. UsageSessions
+	// is the total aggregate-session count.
+	FleetUsage    simtime.WeekMatrix
+	UsageSessions int64
 	// Clusters covers Figure 11; empty when no busy cells were supplied.
 	Clusters BusyClusters
 
 	// RawRecords and CleanRecords count the stream before and after
 	// ghost removal.
 	RawRecords, CleanRecords int
+	// OutOfPeriod counts ghost-free records excluded because they start
+	// outside the study period. The pipeline's policy is uniform: such
+	// records contribute to no analysis (see Engine).
+	OutOfPeriod int64
 
 	// StageErrors lists the analysis stages that failed (error or
 	// panic) and were skipped; the rest of the report is still valid.
@@ -75,97 +82,24 @@ type RunOptions struct {
 	// artificially — a chaos hook proving that one broken analysis
 	// degrades to a diagnostic instead of killing the run. Stage
 	// names: presence, connected, days, segments, busy, durations,
-	// handovers, carriers, clusters.
+	// handovers, carriers, usage, clusters.
 	FailStage string
+	// Workers is the parallel shard count; values below 1 mean 1. The
+	// report is identical for any worker count on the exact stages.
+	Workers int
 }
 
 // Run executes the complete measurement pipeline over a raw record
 // stream: ghost removal (§3), then every analysis in §4. The input
-// slice is not modified.
+// slice is not modified. Run is a thin adapter over Engine — one
+// accumulator set per worker shard, merged into the report — so batch,
+// streaming and parallel execution share a single implementation of
+// every stage.
 //
 // Each analysis stage runs isolated: a stage that returns an error or
 // panics is recorded in Report.StageErrors and skipped, and every
 // other table and figure is still produced. Run itself only returns
 // an error when the input stream cannot be read at all.
 func Run(records []cdr.Record, ctx Context, opts RunOptions) (*Report, error) {
-	if opts.RareDays == nil {
-		opts.RareDays = []int{10, 30}
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	cleaned, err := cdr.ReadAll(clean.RemoveGhosts(cdr.NewSliceReader(records)))
-	if err != nil {
-		return nil, err
-	}
-
-	r := &Report{RawRecords: len(records), CleanRecords: len(cleaned)}
-	r.runStage("presence", opts, func() error {
-		r.Presence = DailyPresenceOf(cleaned, ctx.Period)
-		r.WeekdayRows = Table1(r.Presence, ctx.Period)
-		return nil
-	})
-	r.runStage("connected", opts, func() error {
-		r.Connected = ConnectedTimeOf(cleaned, ctx.Period)
-		return nil
-	})
-	r.runStage("days", opts, func() error {
-		r.DaysHist = DaysHistogram(cleaned, ctx.Period)
-		return nil
-	})
-	if ctx.Load != nil {
-		r.runStage("segments", opts, func() error {
-			r.Segments = Segmentation(cleaned, ctx, opts.RareDays...)
-			return nil
-		})
-		r.runStage("busy", opts, func() error {
-			r.Busy = BusyTimeOf(cleaned, ctx)
-			return nil
-		})
-	}
-	r.runStage("durations", opts, func() error {
-		r.Durations = CellDurationsOf(cleaned)
-		return nil
-	})
-	r.runStage("handovers", opts, func() error {
-		// Handover accounting runs on the truncated stream: the
-		// paper's §3 truncation exists precisely so stuck sessions do
-		// not bridge otherwise-separate mobility sessions.
-		truncated, err := cdr.ReadAll(clean.Truncate(cdr.NewSliceReader(cleaned), clean.TruncateLimit))
-		if err != nil {
-			return err
-		}
-		r.Handovers, err = HandoversOf(truncated)
-		return err
-	})
-	r.runStage("carriers", opts, func() error {
-		r.Carriers = CarrierUsageOf(cleaned)
-		return nil
-	})
-	if ctx.Load != nil && len(opts.BusyCells) >= 2 {
-		r.runStage("clusters", opts, func() error {
-			rng := rand.New(rand.NewPCG(opts.Seed, 0xF16))
-			r.Clusters = ClusterBusyCells(cleaned, ctx, opts.BusyCells, rng)
-			return nil
-		})
-	}
-	return r, nil
-}
-
-// runStage executes one analysis stage isolated: errors and panics
-// are captured into StageErrors, leaving the stage's report fields at
-// their zero values.
-func (r *Report) runStage(name string, opts RunOptions, fn func() error) {
-	defer func() {
-		if p := recover(); p != nil {
-			r.StageErrors = append(r.StageErrors, StageError{Stage: name, Err: fmt.Sprintf("panic: %v", p)})
-		}
-	}()
-	if name == opts.FailStage {
-		r.StageErrors = append(r.StageErrors, StageError{Stage: name, Err: "injected failure (FailStage)"})
-		return
-	}
-	if err := fn(); err != nil {
-		r.StageErrors = append(r.StageErrors, StageError{Stage: name, Err: err.Error()})
-	}
+	return NewEngine(ctx, EngineOptions{RunOptions: opts, Workers: opts.Workers}).Run(records)
 }

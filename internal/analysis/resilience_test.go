@@ -174,12 +174,31 @@ func TestRunStageIsolation(t *testing.T) {
 	}
 }
 
+// panicAcc is a stage accumulator that explodes on its first record.
+type panicAcc struct{}
+
+func (panicAcc) Stage() string          { return "presence" }
+func (panicAcc) Add(cdr.Record)         { panic("stage exploded") }
+func (panicAcc) Merge(Accumulator)      {}
+func (panicAcc) Finalize(*Report) error { return nil }
+
 // TestRunStageRecoversPanic proves a panicking stage degrades to a
-// diagnostic instead of killing the run.
+// diagnostic instead of killing the run: the engine drops the stage,
+// records the panic, and the other stages keep absorbing records.
 func TestRunStageRecoversPanic(t *testing.T) {
-	r := &Report{}
-	r.runStage("boom", RunOptions{}, func() error { panic("stage exploded") })
-	if len(r.StageErrors) != 1 || !strings.Contains(r.StageErrors[0].Err, "stage exploded") {
-		t.Fatalf("panic not captured: %+v", r.StageErrors)
+	s := newAccumSet(Context{Period: simtime.NewPeriod(t0, 7)}, EngineOptions{})
+	s.stages[0] = panicAcc{}
+	s.add(rec(1, cell(1), time.Hour, time.Minute))
+	s.flush()
+	rep := s.finalize()
+	if len(rep.StageErrors) != 1 || !strings.Contains(rep.StageErrors[0].Err, "stage exploded") {
+		t.Fatalf("panic not captured: %+v", rep.StageErrors)
+	}
+	if rep.StageErrors[0].Stage != "presence" {
+		t.Fatalf("wrong stage blamed: %+v", rep.StageErrors)
+	}
+	// A sibling stage still processed the record.
+	if rep.Carriers.TotalCars != 1 {
+		t.Fatalf("sibling stage lost the record: %+v", rep.Carriers)
 	}
 }

@@ -1,160 +1,62 @@
 package analysis
 
 import (
-	"errors"
-	"io"
-	"math"
-	"time"
-
 	"cellcars/internal/cdr"
-	"cellcars/internal/clean"
-	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
-	"cellcars/internal/stats"
 )
 
 // Streaming is a single-pass, bounded-memory analyzer for data sets
 // too large to hold in memory — the paper's own scale is 1.1 billion
-// records. It accumulates the record-level analyses (Figure 2/Table 1
-// presence, Figure 3 connected time, Figure 6 days histogram, Figure 9
-// durations, Table 3 carriers) with O(cars + cells) state; the
-// duration distribution uses a logarithmic histogram, so its quantiles
-// are approximate to one bin width (~7%).
+// records. It is a thin adapter over the same accumulator set the
+// batch pipeline and the parallel Engine use, so every covered stage
+// (Figure 2/Table 1 presence, Figure 3 connected time, Figure 6 days
+// histogram, Table 2 segmentation, Figure 7 busy time, Figure 9
+// durations, §4.5 handovers, Table 3 carriers, fleet usage matrix)
+// is computed by exactly the code Run uses. Duration quantiles fall
+// back to a logarithmic sketch (~7% bin width) beyond the exact-sample
+// capacity; everything else is exact.
 //
-// Feed records in any order with Add (the erroneous one-hour ghosts
-// are filtered inline), then call Finalize.
+// Feed records in time order with Add (the erroneous one-hour ghosts
+// are filtered inline, and records outside the study period are
+// excluded and counted — see Engine for the policy), then call
+// Finalize. The load-dependent stages (Table 2, Figure 7) run only
+// when constructed with a load source via NewStreamingWithContext.
 type Streaming struct {
-	period simtime.Period
-
-	records int64
-	ghosts  int64
-
-	carDays  map[cdr.CarID]*daysBits
-	cellDays map[radio.CellKey]*daysBits
-	carsDay  []int
-	cellsDay []int
-
-	fullSec  map[cdr.CarID]int64
-	truncSec map[cdr.CarID]int64
-
-	carrierTime map[radio.CarrierID]time.Duration
-	carrierCars map[radio.CarrierID]map[cdr.CarID]struct{}
-	totalTime   time.Duration
-
-	durHist *logHist
-	durFull stats.Moments
-	durTrnc stats.Moments
+	set *accumSet
 }
 
-// daysBits is a variable-length day bitmap.
-type daysBits struct {
-	bits []uint64
-}
-
-func (d *daysBits) set(day int) bool {
-	w, b := day/64, uint(day%64)
-	for len(d.bits) <= w {
-		d.bits = append(d.bits, 0)
-	}
-	if d.bits[w]&(1<<b) != 0 {
-		return false
-	}
-	d.bits[w] |= 1 << b
-	return true
-}
-
-func (d *daysBits) count() int {
-	n := 0
-	for _, w := range d.bits {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
-	}
-	return n
-}
-
-// NewStreaming returns an empty accumulator over the period.
+// NewStreaming returns an empty accumulator over the period. The
+// load-dependent stages (segments, busy, clusters) are disabled;
+// use NewStreamingWithContext to enable them.
 func NewStreaming(period simtime.Period) *Streaming {
-	return &Streaming{
-		period:      period,
-		carDays:     make(map[cdr.CarID]*daysBits),
-		cellDays:    make(map[radio.CellKey]*daysBits),
-		carsDay:     make([]int, period.Days()),
-		cellsDay:    make([]int, period.Days()),
-		fullSec:     make(map[cdr.CarID]int64),
-		truncSec:    make(map[cdr.CarID]int64),
-		carrierTime: make(map[radio.CarrierID]time.Duration),
-		carrierCars: make(map[radio.CarrierID]map[cdr.CarID]struct{}),
-		durHist:     newLogHist(),
-	}
+	return NewStreamingWithContext(Context{Period: period})
+}
+
+// NewStreamingWithContext returns an empty accumulator with full
+// context: a load source enables the Table 2 and Figure 7 stages.
+func NewStreamingWithContext(ctx Context) *Streaming {
+	return &Streaming{set: newAccumSet(ctx, EngineOptions{RunOptions: RunOptions{RareDays: []int{10, 30}, Seed: 1}})}
 }
 
 // Add accumulates one raw record; exactly-one-hour ghosts are dropped
 // inline, mirroring the paper's §3 preprocessing.
 func (s *Streaming) Add(r cdr.Record) {
-	if r.Duration == clean.GhostDuration {
-		s.ghosts++
-		return
-	}
-	s.records++
-
-	day := s.period.DayIndex(r.Start)
-	if day >= 0 {
-		db := s.carDays[r.Car]
-		if db == nil {
-			db = &daysBits{}
-			s.carDays[r.Car] = db
-		}
-		if db.set(day) {
-			s.carsDay[day]++
-		}
-		cb := s.cellDays[r.Cell]
-		if cb == nil {
-			cb = &daysBits{}
-			s.cellDays[r.Cell] = cb
-		}
-		if cb.set(day) {
-			s.cellsDay[day]++
-		}
-	}
-
-	sec := int64(r.Duration / time.Second)
-	s.fullSec[r.Car] += sec
-	s.truncSec[r.Car] += truncDur(sec, 600)
-
-	c := r.Cell.Carrier()
-	s.carrierTime[c] += r.Duration
-	s.totalTime += r.Duration
-	set := s.carrierCars[c]
-	if set == nil {
-		set = make(map[cdr.CarID]struct{})
-		s.carrierCars[c] = set
-	}
-	set[r.Car] = struct{}{}
-
-	s.durHist.add(float64(sec))
-	s.durFull.Add(float64(sec))
-	s.durTrnc.Add(float64(truncDur(sec, 600)))
+	s.set.add(r)
 }
 
 // AddAll drains a reader into the accumulator.
 func (s *Streaming) AddAll(r cdr.Reader) error {
-	for {
-		rec, err := r.Read()
-		if err != nil {
-			if isEOF(err) {
-				return nil
-			}
-			return err
-		}
-		s.Add(rec)
-	}
+	return s.set.addReader(r)
 }
 
-// StreamReport is the Finalize output: the record-level subset of
-// Report, with approximate duration quantiles.
+// StreamReport is the Finalize output: the streaming-covered subset of
+// Report, with possibly sketched duration quantiles.
 type StreamReport struct {
+	// Records counts ghost-free records seen; GhostsDropped the ghosts;
+	// OutOfPeriod the ghost-free records excluded for starting outside
+	// the study period.
 	Records, GhostsDropped int64
+	OutOfPeriod            int64
 
 	Presence    DailyPresence
 	WeekdayRows []WeekdayRow
@@ -164,141 +66,57 @@ type StreamReport struct {
 	// DaysCount[n] is the number of cars seen on exactly n+1 days.
 	DaysCount []int64
 
+	// Segments and Busy are populated only when a load source was
+	// provided at construction.
+	Segments []Segment
+	Busy     BusyTime
+
+	Handovers HandoverStats
+
 	Carriers CarrierUsage
 
-	// DurMedian and DurP73 are log-histogram-approximate quantiles of
-	// the truncated per-cell durations; DurFullMean and DurTruncMean
-	// are exact.
+	// FleetUsage and UsageSessions mirror Report.
+	FleetUsage    simtime.WeekMatrix
+	UsageSessions int64
+
+	// DurMedian and DurP73 are quantiles of the truncated per-cell
+	// durations — exact while the population fits the duration sample,
+	// log-histogram-approximate (~7%) beyond it. DurFullMean and
+	// DurTruncMean are always exact.
 	DurMedian, DurP73         float64
 	DurFullMean, DurTruncMean float64
+
+	// StageErrors lists stages that failed and were skipped.
+	StageErrors []StageError
 }
 
 // Finalize computes the report. The accumulator remains usable (more
 // Adds re-finalize cleanly).
 func (s *Streaming) Finalize() StreamReport {
-	rep := StreamReport{Records: s.records, GhostsDropped: s.ghosts}
-
-	// Presence.
-	days := s.period.Days()
-	p := DailyPresence{
-		TotalCars:  len(s.carDays),
-		TotalCells: len(s.cellDays),
-		CarsFrac:   make([]float64, days),
-		CellsFrac:  make([]float64, days),
+	rep := s.set.finalize()
+	out := StreamReport{
+		Records:       s.set.raw - s.set.ghosts,
+		GhostsDropped: s.set.ghosts,
+		OutOfPeriod:   rep.OutOfPeriod,
+		Presence:      rep.Presence,
+		WeekdayRows:   rep.WeekdayRows,
+		Connected:     rep.Connected,
+		Segments:      rep.Segments,
+		Busy:          rep.Busy,
+		Handovers:     rep.Handovers,
+		Carriers:      rep.Carriers,
+		FleetUsage:    rep.FleetUsage,
+		UsageSessions: rep.UsageSessions,
+		DurMedian:     rep.Durations.Median,
+		DurP73:        rep.Durations.P73,
+		DurFullMean:   rep.Durations.FullMean,
+		DurTruncMean:  rep.Durations.TruncMean,
+		StageErrors:   rep.StageErrors,
 	}
-	xs := make([]float64, days)
-	for d := 0; d < days; d++ {
-		xs[d] = float64(d)
-		if p.TotalCars > 0 {
-			p.CarsFrac[d] = float64(s.carsDay[d]) / float64(p.TotalCars)
-		}
-		if p.TotalCells > 0 {
-			p.CellsFrac[d] = float64(s.cellsDay[d]) / float64(p.TotalCells)
-		}
+	if rep.DaysHist != nil {
+		out.DaysCount = append([]int64(nil), rep.DaysHist.Counts...)
+	} else {
+		out.DaysCount = make([]int64, s.set.period.Days())
 	}
-	p.CarsTrend = stats.Fit(xs, p.CarsFrac)
-	p.CellsTrend = stats.Fit(xs, p.CellsFrac)
-	rep.Presence = p
-	rep.WeekdayRows = Table1(p, s.period)
-
-	// Connected time.
-	total := float64(s.period.Seconds())
-	full := make([]float64, 0, len(s.fullSec))
-	trunc := make([]float64, 0, len(s.truncSec))
-	for car, sec := range s.fullSec {
-		full = append(full, float64(sec)/total)
-		trunc = append(trunc, float64(s.truncSec[car])/total)
-	}
-	rep.Connected = ConnectedTime{Full: stats.NewCDF(full), Truncated: stats.NewCDF(trunc)}
-	if len(full) > 0 {
-		rep.Connected.FullMean = rep.Connected.Full.Mean()
-		rep.Connected.TruncMean = rep.Connected.Truncated.Mean()
-		rep.Connected.FullP995 = rep.Connected.Full.Quantile(0.995)
-		rep.Connected.TruncP995 = rep.Connected.Truncated.Quantile(0.995)
-	}
-
-	// Days histogram.
-	rep.DaysCount = make([]int64, days)
-	for _, db := range s.carDays {
-		n := db.count()
-		if n >= 1 && n <= days {
-			rep.DaysCount[n-1]++
-		}
-	}
-
-	// Carriers.
-	u := CarrierUsage{
-		CarsFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
-		TimeFrac:  make(map[radio.CarrierID]float64, radio.NumCarriers),
-		TotalCars: len(s.carDays),
-	}
-	for c := radio.C1; c <= radio.C5; c++ {
-		if u.TotalCars > 0 {
-			u.CarsFrac[c] = float64(len(s.carrierCars[c])) / float64(u.TotalCars)
-		}
-		if s.totalTime > 0 {
-			u.TimeFrac[c] = float64(s.carrierTime[c]) / float64(s.totalTime)
-		}
-	}
-	rep.Carriers = u
-
-	// Durations.
-	rep.DurMedian = math.Min(s.durHist.quantile(0.5), 600)
-	rep.DurP73 = math.Min(s.durHist.quantile(0.73), 600)
-	rep.DurFullMean = s.durFull.Mean()
-	rep.DurTruncMean = s.durTrnc.Mean()
-	return rep
+	return out
 }
-
-// logHist is a logarithmic histogram over durations 1 s .. ~86400 s
-// with ~7% bin width.
-type logHist struct {
-	counts []int64
-	total  int64
-	zero   int64
-}
-
-const (
-	logHistBase = 1.07
-	logHistBins = 170 // 1.07^170 ≈ 1e5 s
-)
-
-func newLogHist() *logHist {
-	return &logHist{counts: make([]int64, logHistBins)}
-}
-
-func (h *logHist) add(sec float64) {
-	if sec < 1 {
-		h.zero++
-		h.total++
-		return
-	}
-	bin := int(math.Log(sec) / math.Log(logHistBase))
-	if bin >= logHistBins {
-		bin = logHistBins - 1
-	}
-	h.counts[bin]++
-	h.total++
-}
-
-// quantile returns the approximate q-quantile in seconds.
-func (h *logHist) quantile(q float64) float64 {
-	if h.total == 0 {
-		return 0
-	}
-	target := int64(q * float64(h.total))
-	cum := h.zero
-	if cum > target {
-		return 0
-	}
-	for bin, c := range h.counts {
-		cum += c
-		if cum > target {
-			// Bin midpoint in log space.
-			return math.Pow(logHistBase, float64(bin)+0.5)
-		}
-	}
-	return math.Pow(logHistBase, logHistBins)
-}
-
-func isEOF(err error) bool { return errors.Is(err, io.EOF) }

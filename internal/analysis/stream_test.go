@@ -33,8 +33,21 @@ func TestStreamingMatchesBatchOnBasics(t *testing.T) {
 		t.Fatalf("ghosts dropped = %d", rep.GhostsDropped)
 	}
 
-	// Batch reference (on the ghost-free stream).
-	ghostFree := records[:len(records)-1]
+	// The pipeline's out-of-period policy: ghost-free records starting
+	// outside the study period are excluded from every analysis and
+	// counted. The batch reference below therefore runs on the
+	// in-period subset — the standalone stage functions are period-less
+	// primitives that analyze exactly what they are given.
+	all := records[:len(records)-1]
+	var ghostFree []cdr.Record
+	for _, r := range all {
+		if period.DayIndex(r.Start) >= 0 {
+			ghostFree = append(ghostFree, r)
+		}
+	}
+	if want := int64(len(all) - len(ghostFree)); rep.OutOfPeriod != want || want == 0 {
+		t.Fatalf("out-of-period = %d, want %d (and the workload must exercise the policy)", rep.OutOfPeriod, want)
+	}
 	batchPresence := DailyPresenceOf(ghostFree, period)
 	if rep.Presence.TotalCars != batchPresence.TotalCars {
 		t.Fatalf("total cars %d vs %d", rep.Presence.TotalCars, batchPresence.TotalCars)
@@ -127,32 +140,8 @@ func TestDaysBits(t *testing.T) {
 	}
 }
 
-func TestLogHistQuantiles(t *testing.T) {
-	h := newLogHist()
-	for i := 0; i < 1000; i++ {
-		h.add(100)
-	}
-	q := h.quantile(0.5)
-	if q < 90 || q > 112 {
-		t.Fatalf("median of constant-100 data = %v", q)
-	}
-	// Sub-second values count as zero bin.
-	h2 := newLogHist()
-	h2.add(0.5)
-	if got := h2.quantile(0.5); got != 0 {
-		t.Fatalf("sub-second quantile = %v", got)
-	}
-	// Empty histogram.
-	if got := newLogHist().quantile(0.5); got != 0 {
-		t.Fatalf("empty quantile = %v", got)
-	}
-	// Huge values clamp to the last bin.
-	h3 := newLogHist()
-	h3.add(1e12)
-	if got := h3.quantile(0.5); math.IsInf(got, 0) || got <= 0 {
-		t.Fatalf("clamped quantile = %v", got)
-	}
-}
+// The log-histogram quantile tests moved to internal/stats with the
+// sketch itself (see stats.LogHist).
 
 // TestStreamingLargeEquivalence runs streaming vs batch over a bigger
 // synthetic-ish random workload to catch accumulation drift.

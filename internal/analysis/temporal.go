@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"time"
-
 	"cellcars/internal/cdr"
 	"cellcars/internal/clean"
 	"cellcars/internal/simtime"
@@ -45,24 +43,8 @@ func UsageMatrix(records []cdr.Record, ctx Context) simtime.WeekMatrix {
 		// impossible path rather than panicking inside an analysis.
 		return m
 	}
-	for _, s := range sessions {
-		// Mark every local hour the session touches, once per session.
-		start := s.Start
-		end := s.End
-		if end.Sub(start) > 7*24*time.Hour {
-			end = start.Add(7 * 24 * time.Hour) // cap runaway stuck sessions
-		}
-		// Walk hour boundaries so each touched hour is marked exactly
-		// once per session; the truncated first step guarantees the
-		// starting hour is included even for sub-hour sessions.
-		seen := make(map[int]struct{}, 4)
-		for t := start.Truncate(time.Hour); t.Before(end); t = t.Add(time.Hour) {
-			how := simtime.HourOfWeek(t, ctx.TZOffsetSeconds)
-			if _, ok := seen[how]; !ok {
-				seen[how] = struct{}{}
-				m.AddHourOfWeek(how, 1)
-			}
-		}
+	for i := range sessions {
+		markSessionHours(&m, &sessions[i], ctx.TZOffsetSeconds)
 	}
 	return m
 }

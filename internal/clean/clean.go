@@ -154,6 +154,21 @@ func (z *Sessionizer) Add(rec cdr.Record) *Session {
 	return nil
 }
 
+// Snapshot returns a copy of every still-open session, ordered by
+// (car, start) for determinism, without closing them: unlike Flush it
+// leaves the sessionizer's state untouched, so accumulators can
+// finalize repeatedly while records keep arriving.
+func (z *Sessionizer) Snapshot() []Session {
+	out := make([]Session, 0, len(z.open))
+	for _, s := range z.open {
+		c := *s
+		c.Spans = append([]CellSpan(nil), s.Spans...)
+		out = append(out, c)
+	}
+	sortSessions(out)
+	return out
+}
+
 // Flush closes and returns every open session, ordered by car id
 // ascending for determinism. The sessionizer is reusable afterwards.
 func (z *Sessionizer) Flush() []Session {

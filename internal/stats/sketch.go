@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the mergeable sketches that make every analysis
+// accumulator shard-parallel: a logarithmic histogram whose quantiles
+// are approximate to one bin width, and a deterministic bottom-k
+// uniform sample whose merge result is independent of shard order.
+// Both types merge commutatively, so an engine can split a record
+// stream across workers and combine partials without changing the
+// result.
+
+// LogHist is a mergeable logarithmic histogram over positive values
+// 1 .. ~1e5 with LogHistBase bin growth (~7% relative bin width).
+// Values below 1 land in a dedicated zero bin. The zero value is
+// ready to use.
+type LogHist struct {
+	counts [LogHistBins]int64
+	total  int64
+	zero   int64
+}
+
+// Logarithmic layout: LogHistBase^LogHistBins ≈ 1e5, covering one
+// full day of seconds with ~7% resolution.
+const (
+	LogHistBase = 1.07
+	LogHistBins = 170
+)
+
+// Add counts one observation.
+func (h *LogHist) Add(x float64) {
+	h.total++
+	if x < 1 {
+		h.zero++
+		return
+	}
+	bin := int(math.Log(x) / math.Log(LogHistBase))
+	if bin >= LogHistBins {
+		bin = LogHistBins - 1
+	}
+	h.counts[bin]++
+}
+
+// Total returns the number of observations.
+func (h *LogHist) Total() int64 { return h.total }
+
+// Merge adds another histogram's counts into h.
+func (h *LogHist) Merge(o *LogHist) {
+	h.total += o.total
+	h.zero += o.zero
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// Quantile returns the approximate q-quantile: the midpoint (in log
+// space) of the bin containing the ceil(q·n)-th smallest observation.
+// q is clamped to [0, 1]; q = 1 lands in the highest occupied bin
+// rather than overshooting the histogram range. An empty histogram
+// returns 0.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Standard ceil rank: the k-th smallest with k = ceil(q·n), at
+	// least 1. The previous floor-based target was biased at small
+	// totals (e.g. the median of 2 observations selected the 2nd).
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	cum := h.zero
+	if cum >= rank {
+		return 0
+	}
+	last := 0.0
+	for bin := 0; bin < LogHistBins; bin++ {
+		c := h.counts[bin]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		last = math.Pow(LogHistBase, float64(bin)+0.5)
+		if cum >= rank {
+			return last
+		}
+	}
+	// Unreachable when counts are consistent with total; return the
+	// highest occupied bin rather than the histogram's top edge.
+	return last
+}
+
+// Sample is a deterministic mergeable uniform sample: it keeps the k
+// items whose keys hash smallest (a bottom-k sketch). Feeding every
+// item with a content-derived key makes the kept set — and therefore
+// any statistic computed from it — independent of insertion and merge
+// order, which is what lets sharded workers produce bit-identical
+// results regardless of worker count. When the population is no
+// larger than k the sample is the complete population and statistics
+// over it are exact.
+type Sample struct {
+	k     int
+	n     int64
+	items []sampleItem // max-heap by (key, value)
+}
+
+type sampleItem struct {
+	key uint64
+	val float64
+}
+
+// NewSample returns a sample keeping at most k items. It panics on a
+// non-positive k.
+func NewSample(k int) *Sample {
+	if k <= 0 {
+		panic(fmt.Sprintf("stats: sample size %d must be positive", k))
+	}
+	preallocate := k
+	if preallocate > 1024 {
+		preallocate = 1024
+	}
+	return &Sample{k: k, items: make([]sampleItem, 0, preallocate)}
+}
+
+// Add offers one (key, value) item. Keys should be well-distributed
+// hashes of item identity; ties on key are broken by value so the
+// result stays deterministic under collisions.
+func (s *Sample) Add(key uint64, v float64) {
+	s.n++
+	it := sampleItem{key: key, val: v}
+	if len(s.items) < s.k {
+		s.items = append(s.items, it)
+		s.up(len(s.items) - 1)
+		return
+	}
+	if !itemLess(it, s.items[0]) {
+		return
+	}
+	s.items[0] = it
+	s.down(0)
+}
+
+// itemLess orders items by (key, value) ascending.
+func itemLess(a, b sampleItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.val < b.val
+}
+
+func (s *Sample) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemLess(s.items[p], s.items[i]) {
+			return
+		}
+		s.items[p], s.items[i] = s.items[i], s.items[p]
+		i = p
+	}
+}
+
+func (s *Sample) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(s.items) && itemLess(s.items[largest], s.items[l]) {
+			largest = l
+		}
+		if r < len(s.items) && itemLess(s.items[largest], s.items[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.items[i], s.items[largest] = s.items[largest], s.items[i]
+		i = largest
+	}
+}
+
+// Merge folds another sample into s. Both must have the same k.
+func (s *Sample) Merge(o *Sample) {
+	if s.k != o.k {
+		panic(fmt.Sprintf("stats: merging samples of size %d and %d", s.k, o.k))
+	}
+	s.n += o.n
+	for _, it := range o.items {
+		if len(s.items) < s.k {
+			s.items = append(s.items, it)
+			s.up(len(s.items) - 1)
+			continue
+		}
+		if itemLess(it, s.items[0]) {
+			s.items[0] = it
+			s.down(0)
+		}
+	}
+}
+
+// N returns the number of items offered (the population size).
+func (s *Sample) N() int64 { return s.n }
+
+// Complete reports whether the sample holds the entire population, in
+// which case statistics over Values are exact.
+func (s *Sample) Complete() bool { return s.n == int64(len(s.items)) }
+
+// Values returns the sampled values in ascending order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.items))
+	for i, it := range s.items {
+		out[i] = it.val
+	}
+	sort.Float64s(out)
+	return out
+}

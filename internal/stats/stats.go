@@ -245,6 +245,21 @@ func (h *Histogram) Add(x float64) {
 	h.Counts[bin]++
 }
 
+// Merge adds another histogram's counts into h. Both histograms must
+// share the same layout (origin, width, bin count); merging mismatched
+// layouts is a caller bug and panics.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.Lo != o.Lo || h.Width != o.Width || len(h.Counts) != len(o.Counts) {
+		panic(fmt.Sprintf("stats: merging histograms with different layouts: [%v,%v)×%d vs [%v,%v)×%d",
+			h.Lo, h.Width, len(h.Counts), o.Lo, o.Width, len(o.Counts)))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+}
+
 // Total returns the number of in-range observations.
 func (h *Histogram) Total() int64 {
 	var t int64
