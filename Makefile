@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+# cover fails when total statement coverage drops below this.
+COVER_MIN ?= 70
 
-.PHONY: all build test race vet fuzz-smoke bench bench-smoke ci
+.PHONY: all build test race vet fmt fuzz-smoke bench bench-smoke cover ci
 
 all: build
 
@@ -9,15 +11,15 @@ build:
 	$(GO) build ./...
 
 # Engine throughput and parallel speedup over ~1M records; the result
-# (records/sec per worker count, speedup vs sequential, GOMAXPROCS)
-# is recorded in BENCH_engine.json.
+# (records/sec per worker count, speedup vs sequential, GOMAXPROCS,
+# checkpoint overhead) is recorded in BENCH_engine.json.
 bench:
 	$(GO) run ./cmd/enginebench -records 1000000 -workers 1,4,8 -out BENCH_engine.json
 
 # A fast CI invocation of the same harness: small workload, one rep,
 # result discarded. Catches bit-rot in the bench path, not performance.
 bench-smoke:
-	$(GO) run ./cmd/enginebench -records 50000 -reps 1 -workers 1,4 -out BENCH_engine.smoke.json
+	$(GO) run ./cmd/enginebench -records 50000 -reps 1 -workers 1,4 -ckpt-every 20000 -out BENCH_engine.smoke.json
 	rm -f BENCH_engine.smoke.json
 
 test:
@@ -29,10 +31,26 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Gate: the tree must be gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Statement coverage with a floor: prints the total and fails when it
+# drops below COVER_MIN.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}')"; \
+	echo "total statement coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit !(t+0 >= m+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
+
 # Short fuzz runs over the codec entry points; go test accepts one
-# -fuzz pattern per invocation, hence two runs.
+# -fuzz pattern per invocation, hence one run per target.
 fuzz-smoke:
 	$(GO) test ./internal/cdr -run='^$$' -fuzz=FuzzCSVReader -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/cdr -run='^$$' -fuzz=FuzzBinaryReader -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/snapshot -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/analysis -run='^$$' -fuzz=FuzzReadPartial -fuzztime=$(FUZZTIME)
 
-ci: vet build race bench-smoke fuzz-smoke
+ci: fmt vet build race bench-smoke fuzz-smoke

@@ -31,6 +31,7 @@
 package cellcars
 
 import (
+	"io"
 	"time"
 
 	"cellcars/internal/analysis"
@@ -40,6 +41,7 @@ import (
 	"cellcars/internal/load"
 	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
+	"cellcars/internal/snapshot"
 	"cellcars/internal/synth"
 )
 
@@ -174,6 +176,57 @@ func NewStreaming(period Period) *StreamingAnalyzer {
 func NewStreamingWithContext(ctx Context) *StreamingAnalyzer {
 	return analysis.NewStreamingWithContext(ctx)
 }
+
+// NewStreamingWithOptions additionally pins the analysis options
+// (seed, rare-day thresholds) — required when the resulting state will
+// be snapshotted and merged with partials from other shards, since
+// snapshots are only mergeable under identical options.
+func NewStreamingWithOptions(ctx Context, opts AnalyzeOptions) *StreamingAnalyzer {
+	return analysis.NewStreamingWithOptions(ctx, opts)
+}
+
+// Durable and distributed analysis: every accumulator serializes its
+// partial state into a versioned snapshot (internal/snapshot codec),
+// enabling crash-resumable runs and map-reduce over car-disjoint
+// shards. See DESIGN.md, "Snapshots".
+type (
+	// Partial is restored mid-run analysis state: mergeable with other
+	// partials from the same study, finalizable into a Report.
+	Partial = analysis.Partial
+	// SnapshotHeader is the study configuration and progress watermark
+	// stored in every snapshot.
+	SnapshotHeader = analysis.SnapshotHeader
+	// CheckpointConfig configures periodic state snapshots of a run.
+	CheckpointConfig = analysis.CheckpointConfig
+)
+
+// ErrCheckpointStop reports that a checkpointed run stopped on its
+// trigger after saving state, rather than reaching end of input.
+var ErrCheckpointStop = analysis.ErrCheckpointStop
+
+// ErrBadSnapshot is wrapped by every snapshot decode failure:
+// truncation, corruption, version or configuration mismatch.
+var ErrBadSnapshot = snapshot.ErrBadSnapshot
+
+// ReadPartial restores partial analysis state from a snapshot stream.
+func ReadPartial(r io.Reader) (*Partial, error) { return analysis.ReadPartial(r) }
+
+// ReadPartialFile restores partial analysis state from a snapshot file.
+func ReadPartialFile(path string) (*Partial, error) { return analysis.ReadPartialFile(path) }
+
+// ResumeStreaming restores a streaming accumulator from a checkpoint
+// written under the same context and options; the caller must skip the
+// input past the restored Watermark (SkipRecords) before adding more.
+func ResumeStreaming(ctx Context, opts AnalyzeOptions, path string) (*StreamingAnalyzer, error) {
+	return analysis.ResumeStreaming(ctx, opts, path)
+}
+
+// SkipRecords advances a reader past n records — the resume seek.
+func SkipRecords(r Reader, n int64) error { return cdr.Skip(r, n) }
+
+// ShardOfCar maps a car to one of n shards; partials over car-disjoint
+// shards merge into exactly the single-process result.
+func ShardOfCar(car CarID, n int) int { return cdr.ShardOfCar(car, n) }
 
 // DefaultPeriod returns the 90-day study window used throughout the
 // reproduction.

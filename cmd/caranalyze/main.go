@@ -9,14 +9,28 @@
 // In file mode the per-cell PRB load source is unavailable, so the
 // busy-cell analyses (Table 2, Figures 7/10/11, and Figure 1) are
 // skipped; everything else runs from the records alone.
+//
+// Distributed and restartable runs:
+//
+//	caranalyze -partial shard0.snap shard0.csv   # map: emit partial state
+//	carmerge shard*.snap                         # reduce: merge + finalize
+//	caranalyze -in big.csv -stream -checkpoint run.snap -resume
+//
+// -partial accumulates a shard without finalizing and writes a
+// snapshot mergeable by carmerge. -checkpoint makes a streaming run
+// durable: state is saved every -checkpoint-every records and on
+// SIGTERM/SIGINT, and -resume picks up from the saved watermark.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"cellcars/internal/analysis"
@@ -46,8 +60,19 @@ func main() {
 		quarantine = flag.String("quarantine", "", "with -in: write quarantined records to this file (TSV)")
 		budget     = flag.Float64("budget", 1.0, "with -in: error budget, max % of malformed records before aborting (0 aborts on the first, negative disables)")
 		failStage  = flag.String("failstage", "", "chaos hook: artificially fail the named analysis stage")
+
+		partial    = flag.String("partial", "", "accumulate the input into this partial snapshot (no report; merge with carmerge)")
+		force      = flag.Bool("force", false, "overwrite an existing -partial snapshot file")
+		checkpoint = flag.String("checkpoint", "", "with -stream: write periodic state checkpoints to this file (and on SIGTERM/SIGINT)")
+		ckptEvery  = flag.Int64("checkpoint-every", 100_000, "with -checkpoint: records between periodic checkpoints (0: signal-only)")
+		resume     = flag.Bool("resume", false, "with -checkpoint: restore state from the checkpoint file if it exists and skip past its watermark")
 	)
 	flag.Parse()
+	// The input file may also be given positionally:
+	//   caranalyze -partial out.snap shard.csv
+	if *in == "" && flag.NArg() == 1 {
+		*in = flag.Arg(0)
+	}
 
 	startDay, err := time.Parse("2006-01-02", *start)
 	if err != nil {
@@ -86,10 +111,14 @@ func main() {
 	// matters most when the run aborts.
 	atExit = func() {
 		if qclose != nil {
-			if err := qclose(); err != nil {
-				fmt.Fprintf(os.Stderr, "caranalyze: close quarantine file: %v\n", err)
-			}
+			err := qclose()
 			qclose = nil
+			if err != nil {
+				// A lost audit trail is a failed run: propagate to the
+				// exit code instead of pretending the file is whole.
+				fmt.Fprintf(os.Stderr, "caranalyze: close quarantine file: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	defer atExit()
@@ -98,13 +127,40 @@ func main() {
 	var istats cdr.IngestStats
 	ctx := analysis.Context{Period: period, TZOffsetSeconds: *tz * 3600}
 	opts := analysis.RunOptions{Seed: *seed, FailStage: *failStage, Workers: *workers}
+	// Scale the rare thresholds with the study length (10 and 30 of 90).
+	rare := []int{max(1, *days/9), max(2, *days/3)}
 	var model *load.Model
 
+	if *partial != "" {
+		if *in == "" {
+			fatal("-partial needs an input file (-in or a positional argument)")
+		}
+		if !*force {
+			if _, err := os.Stat(*partial); err == nil {
+				fatal("%s exists; use -force to overwrite", *partial)
+			}
+		}
+		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare}
+		if err := runPartial(*in, *partial, ctx, sopts, ingest); err != nil {
+			fatal("partial %s: %v", *in, err)
+		}
+		return
+	}
 	if *in != "" && *stream {
-		if err := runStreaming(*in, ctx, ingest); err != nil {
+		cfg := analysis.CheckpointConfig{Path: *checkpoint, Every: *ckptEvery, Resume: *resume}
+		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare}
+		err := runStreaming(*in, ctx, sopts, ingest, cfg)
+		switch {
+		case errors.Is(err, analysis.ErrCheckpointStop):
+			fmt.Fprintf(os.Stderr, "caranalyze: interrupted; state saved to %s (re-run with -resume to continue)\n", *checkpoint)
+			return
+		case err != nil:
 			fatal("stream %s: %v", *in, err)
 		}
 		return
+	}
+	if *checkpoint != "" || *resume {
+		fatal("-checkpoint and -resume need -stream mode")
 	}
 	if *in != "" {
 		records, istats, err = readFile(*in, ingest)
@@ -132,8 +188,7 @@ func main() {
 			stats.Records, *cars, w.Net.NumStations(), w.Net.NumCells())
 	}
 
-	// Scale the rare thresholds with the study length (10 and 30 of 90).
-	opts.RareDays = []int{max(1, *days/9), max(2, *days/3)}
+	opts.RareDays = rare
 
 	rep, err := analysis.Run(records, ctx, opts)
 	if err != nil {
@@ -386,22 +441,65 @@ func printQuality(q *analysis.DataQuality) {
 	fmt.Println()
 }
 
-// runStreaming analyzes a CDR file in one bounded-memory pass. Since
-// the streaming adapter runs the same accumulators as the batch
-// engine, it prints every record-level section of the report:
-// presence, connected time, days, durations, handovers, fleet usage
-// and carriers. (The busy-cell sections additionally need a load
-// source, which a bare CDR file cannot provide.)
-func runStreaming(path string, ctx analysis.Context, ingest cdr.ResilientConfig) error {
+// runPartial is the map side of a distributed run: it accumulates one
+// CDR shard into streaming state and writes the un-finalized partial
+// snapshot, which carmerge later merges and finalizes. For exact
+// merged results the shards must be car-disjoint (cdr.ShardOfCar).
+func runPartial(path, out string, ctx analysis.Context, opts analysis.RunOptions, ingest cdr.ResilientConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	rr := cdr.NewResilientReader(openReader(path, f), ingest)
-	s := analysis.NewStreamingWithContext(ctx)
+	s := analysis.NewStreamingWithOptions(ctx, opts)
 	if err := s.AddAll(rr); err != nil {
 		return err
+	}
+	if err := s.WriteSnapshot(out); err != nil {
+		return err
+	}
+	istats := rr.Stats()
+	fmt.Printf("wrote partial state of %d records (%d quarantined) to %s; merge with carmerge\n",
+		s.Watermark(), istats.QuarantinedTotal(), out)
+	return nil
+}
+
+// runStreaming analyzes a CDR file in one bounded-memory pass. Since
+// the streaming adapter runs the same accumulators as the batch
+// engine, it prints every record-level section of the report:
+// presence, connected time, days, durations, handovers, fleet usage
+// and carriers. (The busy-cell sections additionally need a load
+// source, which a bare CDR file cannot provide.)
+//
+// With cfg.Path set the pass is durable: state is checkpointed every
+// cfg.Every records and on SIGTERM/SIGINT, and cfg.Resume restores a
+// previous checkpoint and skips past its watermark.
+func runStreaming(path string, ctx analysis.Context, opts analysis.RunOptions, ingest cdr.ResilientConfig, cfg analysis.CheckpointConfig) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rr := cdr.NewResilientReader(openReader(path, f), ingest)
+	s := analysis.NewStreamingWithOptions(ctx, opts)
+	if cfg.Path == "" {
+		if err := s.AddAll(rr); err != nil {
+			return err
+		}
+	} else {
+		trig := make(chan struct{})
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			close(trig)
+		}()
+		cfg.Trigger = trig
+		if err := s.AddAllCheckpointed(rr, cfg); err != nil {
+			return err
+		}
 	}
 	rep := s.Finalize()
 

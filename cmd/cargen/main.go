@@ -53,15 +53,14 @@ func main() {
 		fatal("generate: %v", err)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal("create %s: %v", *out, err)
-	}
-	defer f.Close()
-
 	useCSV := *format == "csv" || (*format == "" && strings.HasSuffix(*out, ".csv"))
 	if *format != "" && *format != "csv" && *format != "binary" {
 		fatal("unknown -format %q", *format)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("create %s: %v", *out, err)
 	}
 	if useCSV {
 		cw := cdr.NewCSVWriter(f)
@@ -79,6 +78,14 @@ func main() {
 		if err := bw.Close(); err != nil {
 			fatal("flush: %v", err)
 		}
+	}
+	// An unchecked close can silently drop the tail of the data set
+	// (full disk, quota); the exit code must reflect it.
+	if err := f.Sync(); err != nil {
+		fatal("sync %s: %v", *out, err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("close %s: %v", *out, err)
 	}
 
 	fmt.Fprintf(os.Stderr,

@@ -9,6 +9,10 @@
 // workers=1. GOMAXPROCS and NumCPU are recorded so a speedup (or its
 // absence) can be read against the hardware that produced it.
 //
+// It also measures the cost of durable state: the checkpointing
+// dispatcher run with snapshot writes off versus every -ckpt-every
+// records, reported as an overhead percentage.
+//
 //	enginebench -records 1000000 -workers 1,4,8 -out BENCH_engine.json
 package main
 
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -34,10 +39,11 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("records", 1_000_000, "workload size in records")
-		reps    = flag.Int("reps", 3, "timed runs per worker count (best is kept)")
-		workers = flag.String("workers", "1,4,8", "comma-separated worker counts (first must be 1 for the speedup baseline)")
-		out     = flag.String("out", "BENCH_engine.json", "output JSON file")
+		n         = flag.Int("records", 1_000_000, "workload size in records")
+		reps      = flag.Int("reps", 3, "timed runs per worker count (best is kept)")
+		workers   = flag.String("workers", "1,4,8", "comma-separated worker counts (first must be 1 for the speedup baseline)")
+		ckptEvery = flag.Int64("ckpt-every", 100_000, "checkpoint interval for the overhead measurement (0 skips it)")
+		out       = flag.String("out", "BENCH_engine.json", "output JSON file")
 	)
 	flag.Parse()
 
@@ -94,6 +100,16 @@ func main() {
 			w, run.Seconds, run.RecordsPerSec, run.Speedup)
 	}
 
+	if *ckptEvery > 0 {
+		cr, err := benchCheckpoint(records, ctx, opts, counts[len(counts)-1], *reps, *ckptEvery, baseline)
+		if err != nil {
+			fatal("checkpoint bench: %v", err)
+		}
+		res.Checkpoint = cr
+		fmt.Printf("checkpointing every %d records (workers=%d): %.2fs off vs %.2fs on, overhead %.1f%% (%d checkpoints)\n",
+			cr.Every, cr.Workers, cr.SecondsOff, cr.SecondsOn, cr.OverheadPct, cr.Checkpoints)
+	}
+
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal("marshal: %v", err)
@@ -107,11 +123,12 @@ func main() {
 
 // result is the BENCH_engine.json schema.
 type result struct {
-	Records    int         `json:"records"`
-	Reps       int         `json:"reps"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	NumCPU     int         `json:"numcpu"`
-	Runs       []workerRun `json:"runs"`
+	Records    int            `json:"records"`
+	Reps       int            `json:"reps"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numcpu"`
+	Runs       []workerRun    `json:"runs"`
+	Checkpoint *checkpointRun `json:"checkpoint,omitempty"`
 }
 
 type workerRun struct {
@@ -119,6 +136,74 @@ type workerRun struct {
 	Seconds       float64 `json:"seconds"`
 	RecordsPerSec float64 `json:"records_per_sec"`
 	Speedup       float64 `json:"speedup_vs_sequential"`
+}
+
+// checkpointRun records the cost of durable state: the same
+// checkpointing dispatcher run with snapshot writes off and on, so the
+// delta is the checkpoint cost alone, not the dispatcher's.
+type checkpointRun struct {
+	Workers          int     `json:"workers"`
+	Every            int64   `json:"every_records"`
+	Checkpoints      int64   `json:"checkpoints_written"`
+	SecondsOff       float64 `json:"seconds_off"`
+	SecondsOn        float64 `json:"seconds_on"`
+	RecordsPerSecOff float64 `json:"records_per_sec_off"`
+	RecordsPerSecOn  float64 `json:"records_per_sec_on"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+// benchCheckpoint measures checkpointing overhead: best-of-reps wall
+// time of RunReaderCheckpointed with no snapshot path versus writing a
+// snapshot every `every` records, both verified bit-identical to the
+// in-memory baseline report.
+func benchCheckpoint(records []cdr.Record, ctx analysis.Context, opts analysis.RunOptions,
+	workers, reps int, every int64, baseline *analysis.Report) (*checkpointRun, error) {
+	dir, err := os.MkdirTemp("", "enginebench-ckpt-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ckpt.snap")
+
+	e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: workers})
+	measure := func(cfg analysis.CheckpointConfig) (float64, error) {
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			os.Remove(path)
+			t0 := time.Now()
+			rep, err := e.RunReaderCheckpointed(cdr.NewSliceReader(records), cfg)
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				return 0, err
+			}
+			if !reflect.DeepEqual(baseline, rep) {
+				return 0, fmt.Errorf("checkpointed report differs from baseline — determinism broken")
+			}
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best, nil
+	}
+
+	off, err := measure(analysis.CheckpointConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoints off: %w", err)
+	}
+	on, err := measure(analysis.CheckpointConfig{Path: path, Every: every})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoints on: %w", err)
+	}
+	return &checkpointRun{
+		Workers:          workers,
+		Every:            every,
+		Checkpoints:      int64(len(records)) / every,
+		SecondsOff:       round3(off),
+		SecondsOn:        round3(on),
+		RecordsPerSecOff: round3(float64(len(records)) / off),
+		RecordsPerSecOn:  round3(float64(len(records)) / on),
+		OverheadPct:      round3((on - off) / off * 100),
+	}, nil
 }
 
 // genWorkload builds the deterministic benchmark stream: 4000 cars

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"io"
 	"math/bits"
 	"math/rand/v2"
 	"time"
@@ -46,6 +47,15 @@ type Accumulator interface {
 	Merge(o Accumulator)
 	// Finalize computes the stage's results into rep.
 	Finalize(rep *Report) error
+	// SnapshotTo serializes the accumulator's partial state — enough
+	// to resume Adds or Merge on another machine. Snapshots are
+	// deterministic: equal state encodes to equal bytes.
+	SnapshotTo(w io.Writer) error
+	// RestoreFrom replaces the accumulator's state with a snapshot
+	// written by SnapshotTo on an accumulator of the same stage and
+	// configuration. Corrupt input is reported as an error wrapping
+	// snapshot.ErrBadSnapshot; the receiver is unspecified afterwards.
+	RestoreFrom(r io.Reader) error
 }
 
 // runAccum feeds a record slice to one accumulator and finalizes it

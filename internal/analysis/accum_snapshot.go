@@ -1,0 +1,682 @@
+package analysis
+
+import (
+	"cmp"
+	"io"
+	"slices"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+	"cellcars/internal/snapshot"
+	"cellcars/internal/stats"
+)
+
+// This file implements the Accumulator snapshot contract for every
+// stage: SnapshotTo serializes exactly the mutable partial state (maps,
+// bitmaps, sketches, open sessions), never the configuration (period,
+// load source, rare-day thresholds, seeds) — configuration travels in
+// the checkpoint header and is re-validated there. Encodings are
+// deterministic: map keys are emitted in ascending order, so equal
+// state always produces equal bytes, which is what lets tests compare
+// snapshots directly and lets merge results be diffed byte-for-byte.
+//
+// Every RestoreFrom validates what it decodes — bounds, orderings,
+// arithmetic invariants like busy ≤ total — and reports corruption
+// through the decoder's sticky error (wrapping snapshot.ErrBadSnapshot)
+// rather than building an acc that fails much later.
+
+const (
+	// maxSnapEntries bounds any one decoded collection (cars, cells,
+	// sessions, per-session counts). Far above any real fleet, low
+	// enough that a forged count cannot drive an iteration bomb.
+	maxSnapEntries = 1 << 27
+	// maxSnapSpans bounds the spans of one open session.
+	maxSnapSpans = 1 << 22
+	// snapPrealloc caps how much a decode loop preallocates ahead of
+	// the data it has actually read.
+	snapPrealloc = 4096
+)
+
+func preallocN(n int) int {
+	if n > snapPrealloc {
+		return snapPrealloc
+	}
+	return n
+}
+
+// sortedKeys returns m's keys in ascending order, the iteration order
+// every map encoder uses.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// daysWords is the maximum bitmap length a period's day indices can
+// occupy — the bound decoders enforce on stored bitmaps.
+func daysWords(p simtime.Period) int { return (p.Days() + 63) / 64 }
+
+func encodeDaysBits(e *snapshot.Encoder, d *daysBits) {
+	e.Uvarint(uint64(len(d.bits)))
+	for _, w := range d.bits {
+		e.Uvarint(w)
+	}
+}
+
+func decodeDaysBits(d *snapshot.Decoder, maxWords int) *daysBits {
+	n := d.Len(maxWords)
+	if n < 0 {
+		return nil
+	}
+	out := &daysBits{bits: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.bits[i] = d.Uvarint()
+	}
+	if n > 0 && d.Err() == nil && out.bits[n-1] == 0 {
+		// set()/or() never leave trailing zero words; a stored one
+		// would make equal states encode differently.
+		d.Failf("day bitmap has trailing zero word")
+		return nil
+	}
+	return out
+}
+
+func encodeCarDays(e *snapshot.Encoder, m map[cdr.CarID]*daysBits) {
+	e.Uvarint(uint64(len(m)))
+	for _, car := range sortedKeys(m) {
+		e.Uvarint(uint64(car))
+		encodeDaysBits(e, m[car])
+	}
+}
+
+func decodeCarDays(d *snapshot.Decoder, maxWords int) map[cdr.CarID]*daysBits {
+	n := d.Len(maxSnapEntries)
+	if n < 0 {
+		return nil
+	}
+	m := make(map[cdr.CarID]*daysBits, preallocN(n))
+	for i := 0; i < n; i++ {
+		car := cdr.CarID(d.Uvarint())
+		db := decodeDaysBits(d, maxWords)
+		if d.Err() != nil {
+			return nil
+		}
+		if _, dup := m[car]; dup {
+			d.Failf("duplicate car %d in day map", car)
+			return nil
+		}
+		m[car] = db
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// presence
+
+func (a *presenceAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	encodeCarDays(e, a.carDays)
+	e.Uvarint(uint64(len(a.cellDays)))
+	for _, cell := range sortedKeys(a.cellDays) {
+		e.Uvarint(uint64(cell))
+		encodeDaysBits(e, a.cellDays[cell])
+	}
+	return e.Err()
+}
+
+func (a *presenceAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	maxW := daysWords(a.period)
+	carDays := decodeCarDays(d, maxW)
+	n := d.Len(maxSnapEntries)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	cellDays := make(map[radio.CellKey]*daysBits, preallocN(n))
+	for i := 0; i < n; i++ {
+		cell := radio.CellKey(d.Uvarint())
+		db := decodeDaysBits(d, maxW)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := cellDays[cell]; dup {
+			d.Failf("duplicate cell %d in day map", cell)
+			return d.Err()
+		}
+		cellDays[cell] = db
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	a.carDays, a.cellDays = carDays, cellDays
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// connected
+
+func (a *connectedAcc) SnapshotTo(w io.Writer) error {
+	// Every Add writes both maps, so they share a key set and one
+	// sorted pass covers both.
+	e := snapshot.NewEncoder(w)
+	e.Uvarint(uint64(len(a.fullSec)))
+	for _, car := range sortedKeys(a.fullSec) {
+		e.Uvarint(uint64(car))
+		e.Varint(a.fullSec[car])
+		e.Varint(a.truncSec[car])
+	}
+	return e.Err()
+}
+
+func (a *connectedAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	n := d.Len(maxSnapEntries)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	full := make(map[cdr.CarID]int64, preallocN(n))
+	trunc := make(map[cdr.CarID]int64, preallocN(n))
+	for i := 0; i < n; i++ {
+		car := cdr.CarID(d.Uvarint())
+		f, t := d.Varint(), d.Varint()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if t < 0 || f < t {
+			// Per-record truncation can only shrink: 0 ≤ trunc ≤ full.
+			d.Failf("car %d connected seconds full=%d trunc=%d inconsistent", car, f, t)
+			return d.Err()
+		}
+		if _, dup := full[car]; dup {
+			d.Failf("duplicate car %d in connected map", car)
+			return d.Err()
+		}
+		full[car], trunc[car] = f, t
+	}
+	a.fullSec, a.truncSec = full, trunc
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// days
+
+func (a *daysAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	encodeCarDays(e, a.carDays)
+	return e.Err()
+}
+
+func (a *daysAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	carDays := decodeCarDays(d, daysWords(a.period))
+	if d.Err() != nil {
+		return d.Err()
+	}
+	a.carDays = carDays
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// busy
+
+func (a *busyAcc) SnapshotTo(w io.Writer) error {
+	// Add writes busy and total together, so the key sets coincide.
+	e := snapshot.NewEncoder(w)
+	e.Uvarint(uint64(len(a.total)))
+	for _, car := range sortedKeys(a.total) {
+		e.Uvarint(uint64(car))
+		e.Varint(int64(a.busy[car]))
+		e.Varint(int64(a.total[car]))
+	}
+	return e.Err()
+}
+
+func (a *busyAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	n := d.Len(maxSnapEntries)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	busy := make(map[cdr.CarID]time.Duration, preallocN(n))
+	total := make(map[cdr.CarID]time.Duration, preallocN(n))
+	for i := 0; i < n; i++ {
+		car := cdr.CarID(d.Uvarint())
+		b, t := d.Varint(), d.Varint()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if b < 0 || t < b {
+			d.Failf("car %d busy=%d total=%d inconsistent", car, b, t)
+			return d.Err()
+		}
+		if _, dup := total[car]; dup {
+			d.Failf("duplicate car %d in busy map", car)
+			return d.Err()
+		}
+		busy[car], total[car] = time.Duration(b), time.Duration(t)
+	}
+	a.busy, a.total = busy, total
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// segments
+
+func (a *segmentsAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	e.Uvarint(uint64(len(a.cars)))
+	for _, car := range sortedKeys(a.cars) {
+		st := a.cars[car]
+		e.Uvarint(uint64(car))
+		encodeDaysBits(e, &st.days)
+		e.Varint(int64(st.busy))
+		e.Varint(int64(st.total))
+	}
+	return e.Err()
+}
+
+func (a *segmentsAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	maxW := daysWords(a.ctx.Period)
+	n := d.Len(maxSnapEntries)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	cars := make(map[cdr.CarID]*carSegState, preallocN(n))
+	for i := 0; i < n; i++ {
+		car := cdr.CarID(d.Uvarint())
+		db := decodeDaysBits(d, maxW)
+		b, t := d.Varint(), d.Varint()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if b < 0 || t < b {
+			d.Failf("car %d segment busy=%d total=%d inconsistent", car, b, t)
+			return d.Err()
+		}
+		if _, dup := cars[car]; dup {
+			d.Failf("duplicate car %d in segment map", car)
+			return d.Err()
+		}
+		cars[car] = &carSegState{days: *db, busy: time.Duration(b), total: time.Duration(t)}
+	}
+	a.cars = cars
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// durations
+
+func (a *durationsAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	a.hist.Snapshot(e)
+	a.sample.Snapshot(e)
+	e.Varint(a.n)
+	e.Varint(a.fullSec)
+	e.Varint(a.fullNano)
+	e.Varint(a.truncSec)
+	e.Varint(a.truncNano)
+	return e.Err()
+}
+
+func (a *durationsAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	var hist stats.LogHist
+	hist.Restore(d)
+	sample := stats.NewSample(durSampleCap)
+	sample.Restore(d)
+	n := d.Varint()
+	fullSec, fullNano := d.Varint(), d.Varint()
+	truncSec, truncNano := d.Varint(), d.Varint()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n < 0 || fullSec < 0 || truncSec < 0 || truncSec > fullSec {
+		d.Failf("duration sums n=%d full=%d trunc=%d inconsistent", n, fullSec, truncSec)
+		return d.Err()
+	}
+	a.hist, a.sample = hist, sample
+	a.n = n
+	a.fullSec, a.fullNano = fullSec, fullNano
+	a.truncSec, a.truncNano = truncSec, truncNano
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// open sessions (shared by handovers and usage)
+
+// encodeSessions writes still-open sessions as their span lists;
+// Start/End/Connected are derived on decode, so the stored form cannot
+// contradict the sessionizer's invariants. Sessions must be the output
+// of Sessionizer.Snapshot: at most one per car, ascending car order.
+func encodeSessions(e *snapshot.Encoder, sessions []clean.Session) {
+	e.Uvarint(uint64(len(sessions)))
+	for i := range sessions {
+		s := &sessions[i]
+		e.Uvarint(uint64(s.Car))
+		e.Uvarint(uint64(len(s.Spans)))
+		for _, sp := range s.Spans {
+			e.Uvarint(uint64(sp.Cell))
+			e.Varint(sp.Start.UnixNano())
+			e.Varint(int64(sp.Duration))
+		}
+	}
+}
+
+func decodeSessions(d *snapshot.Decoder) []clean.Session {
+	n := d.Len(maxSnapEntries)
+	if n < 0 {
+		return nil
+	}
+	out := make([]clean.Session, 0, preallocN(n))
+	var lastCar cdr.CarID
+	for i := 0; i < n; i++ {
+		car := cdr.CarID(d.Uvarint())
+		nspans := d.Len(maxSnapSpans)
+		if d.Err() != nil {
+			return nil
+		}
+		if nspans < 1 {
+			d.Failf("open session for car %d has no spans", car)
+			return nil
+		}
+		if i > 0 && car <= lastCar {
+			d.Failf("open sessions out of car order (%d after %d)", car, lastCar)
+			return nil
+		}
+		lastCar = car
+		spans := make([]clean.CellSpan, 0, preallocN(nspans))
+		var connected time.Duration
+		var end time.Time
+		for j := 0; j < nspans; j++ {
+			cell := radio.CellKey(d.Uvarint())
+			startNano := d.Varint()
+			dur := d.Varint()
+			if d.Err() != nil {
+				return nil
+			}
+			if !cell.Carrier().Valid() {
+				d.Failf("open session span on invalid cell %d", cell)
+				return nil
+			}
+			if dur < 0 {
+				d.Failf("open session span duration %d negative", dur)
+				return nil
+			}
+			// All pipeline timestamps are UTC; UnixNano round-trips
+			// them exactly, and .UTC() keeps local-time-dependent
+			// arithmetic (hour-of-week) identical after restore.
+			sp := clean.CellSpan{
+				Cell:     cell,
+				Start:    time.Unix(0, startNano).UTC(),
+				Duration: time.Duration(dur),
+			}
+			spans = append(spans, sp)
+			connected += sp.Duration
+			if spEnd := sp.Start.Add(sp.Duration); spEnd.After(end) {
+				end = spEnd
+			}
+		}
+		out = append(out, clean.Session{
+			Car:       car,
+			Start:     spans[0].Start,
+			End:       end,
+			Connected: connected,
+			Spans:     spans,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// handovers
+
+func (a *handoverAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	encodeSessions(e, a.z.Snapshot())
+	e.Uvarint(uint64(len(a.byKind)))
+	for _, kind := range sortedKeys(a.byKind) {
+		e.Uvarint(uint64(kind))
+		e.Varint(a.byKind[kind])
+	}
+	e.Uvarint(uint64(len(a.counts)))
+	for _, c := range a.counts {
+		e.F64(c)
+	}
+	return e.Err()
+}
+
+func (a *handoverAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	sessions := decodeSessions(d)
+	nk := d.Len(radio.NumHandoverKinds)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	byKind := make(map[radio.HandoverKind]int64, nk)
+	for i := 0; i < nk; i++ {
+		kind := radio.HandoverKind(d.Uvarint())
+		c := d.Varint()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if c < 0 {
+			d.Failf("handover kind %d count %d negative", kind, c)
+			return d.Err()
+		}
+		if _, dup := byKind[kind]; dup {
+			d.Failf("duplicate handover kind %d", kind)
+			return d.Err()
+		}
+		byKind[kind] = c
+	}
+	nc := d.Len(maxSnapEntries)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	counts := make([]float64, 0, preallocN(nc))
+	for i := 0; i < nc; i++ {
+		counts = append(counts, d.F64())
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	a.z.RestoreOpen(sessions)
+	a.byKind, a.counts = byKind, counts
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// carriers
+
+func (a *carriersAcc) SnapshotTo(w io.Writer) error {
+	// carsOn and timeOn share a key set (Add writes both); allCars is
+	// the union of the per-carrier sets and total the sum of timeOn,
+	// so neither needs to be stored.
+	e := snapshot.NewEncoder(w)
+	e.Uvarint(uint64(len(a.carsOn)))
+	for _, carrier := range sortedKeys(a.carsOn) {
+		e.Uvarint(uint64(carrier))
+		e.Varint(int64(a.timeOn[carrier]))
+		set := a.carsOn[carrier]
+		e.Uvarint(uint64(len(set)))
+		for _, car := range sortedKeys(set) {
+			e.Uvarint(uint64(car))
+		}
+	}
+	return e.Err()
+}
+
+func (a *carriersAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	n := d.Len(radio.NumCarriers)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	carsOn := make(map[radio.CarrierID]map[cdr.CarID]struct{}, n)
+	timeOn := make(map[radio.CarrierID]time.Duration, n)
+	allCars := make(map[cdr.CarID]struct{})
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		carrier := radio.CarrierID(d.Uvarint())
+		dur := d.Varint()
+		nc := d.Len(maxSnapEntries)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if !carrier.Valid() {
+			d.Failf("invalid carrier %d", carrier)
+			return d.Err()
+		}
+		if dur < 0 {
+			d.Failf("carrier %d time %d negative", carrier, dur)
+			return d.Err()
+		}
+		if _, dup := carsOn[carrier]; dup {
+			d.Failf("duplicate carrier %d", carrier)
+			return d.Err()
+		}
+		set := make(map[cdr.CarID]struct{}, preallocN(nc))
+		for j := 0; j < nc; j++ {
+			car := cdr.CarID(d.Uvarint())
+			if d.Err() != nil {
+				return d.Err()
+			}
+			set[car] = struct{}{}
+			allCars[car] = struct{}{}
+		}
+		if len(set) != nc {
+			d.Failf("carrier %d car set has duplicates", carrier)
+			return d.Err()
+		}
+		carsOn[carrier] = set
+		timeOn[carrier] = time.Duration(dur)
+		total += time.Duration(dur)
+	}
+	a.carsOn, a.timeOn, a.allCars, a.total = carsOn, timeOn, allCars, total
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// usage
+
+func (a *usageAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	encodeSessions(e, a.z.Snapshot())
+	for hour := 0; hour < simtime.HoursPerDay; hour++ {
+		for day := 0; day < 7; day++ {
+			e.F64(a.matrix.At(hour, day))
+		}
+	}
+	e.Varint(a.sessions)
+	return e.Err()
+}
+
+func (a *usageAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	sessions := decodeSessions(d)
+	var m simtime.WeekMatrix
+	for hour := 0; hour < simtime.HoursPerDay; hour++ {
+		for day := 0; day < 7; day++ {
+			m.Set(hour, day, d.F64())
+		}
+	}
+	count := d.Varint()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if count < 0 {
+		d.Failf("closed session count %d negative", count)
+		return d.Err()
+	}
+	a.z.RestoreOpen(sessions)
+	a.matrix = m
+	a.sessions = count
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// clusters
+
+func (a *clustersAcc) SnapshotTo(w io.Writer) error {
+	e := snapshot.NewEncoder(w)
+	e.Uvarint(uint64(len(a.busyCells)))
+	for i := range a.perCell {
+		nonEmpty := 0
+		for _, set := range a.perCell[i] {
+			if len(set) > 0 {
+				nonEmpty++
+			}
+		}
+		e.Uvarint(uint64(nonEmpty))
+		for bin, set := range a.perCell[i] {
+			if len(set) == 0 {
+				continue
+			}
+			e.Uvarint(uint64(bin))
+			e.Uvarint(uint64(len(set)))
+			for _, car := range sortedKeys(set) {
+				e.Uvarint(uint64(car))
+			}
+		}
+	}
+	return e.Err()
+}
+
+func (a *clustersAcc) RestoreFrom(r io.Reader) error {
+	d := snapshot.NewDecoder(r)
+	nc := d.Len(maxSnapEntries)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nc != len(a.busyCells) {
+		d.Failf("snapshot covers %d busy cells, accumulator has %d", nc, len(a.busyCells))
+		return d.Err()
+	}
+	numBins := a.ctx.Period.NumBins()
+	perCell := make([][]map[cdr.CarID]struct{}, nc)
+	for i := 0; i < nc; i++ {
+		perCell[i] = make([]map[cdr.CarID]struct{}, numBins)
+		nb := d.Len(numBins)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		lastBin := -1
+		for j := 0; j < nb; j++ {
+			bin := d.Len(numBins - 1)
+			ncar := d.Len(maxSnapEntries)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if bin <= lastBin {
+				d.Failf("cell %d bins out of order", i)
+				return d.Err()
+			}
+			lastBin = bin
+			if ncar < 1 {
+				d.Failf("cell %d bin %d has empty car set", i, bin)
+				return d.Err()
+			}
+			set := make(map[cdr.CarID]struct{}, preallocN(ncar))
+			for k := 0; k < ncar; k++ {
+				set[cdr.CarID(d.Uvarint())] = struct{}{}
+			}
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if len(set) != ncar {
+				d.Failf("cell %d bin %d car set has duplicates", i, bin)
+				return d.Err()
+			}
+			perCell[i][bin] = set
+		}
+	}
+	a.perCell = perCell
+	return nil
+}

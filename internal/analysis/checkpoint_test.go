@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/snapshot"
+)
+
+// cleanAccepted filters a raw workload the way accumSet.add does:
+// ghosts out, out-of-period out — the records stage accumulators
+// actually observe.
+func cleanAccepted(ctx Context, records []cdr.Record) []cdr.Record {
+	out := make([]cdr.Record, 0, len(records))
+	for _, r := range records {
+		if r.Duration == clean.GhostDuration || ctx.Period.DayIndex(r.Start) < 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestAccumulatorSnapshotRoundTrip is the per-stage property
+// Restore(Snapshot(a)) ≡ a, proven by merge-equivalence: feed half the
+// workload, snapshot, restore into a fresh accumulator, feed the other
+// half to both, and demand identical finalized reports. It also pins
+// snapshot determinism: the restored accumulator re-encodes to the
+// exact bytes it was restored from.
+func TestAccumulatorSnapshotRoundTrip(t *testing.T) {
+	ctx := engineCtx()
+	records := cleanAccepted(ctx, engineWorkload(20000))
+	half := len(records) / 2
+	opts := EngineOptions{
+		RunOptions: RunOptions{RareDays: []int{2, 5}, Seed: 1, BusyCells: engineBusyCells()},
+		Workers:    1,
+	}
+	for i, name := range engineStageOrder {
+		i, name := i, name
+		t.Run(name, func(t *testing.T) {
+			a := newAccumSet(ctx, opts).stages[i]
+			if a == nil {
+				t.Fatalf("stage %s not enabled by test context", name)
+			}
+			for _, r := range records[:half] {
+				a.Add(r)
+			}
+			var buf bytes.Buffer
+			if err := a.SnapshotTo(&buf); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			b := newStageForRestore(ctx, opts, name)
+			if err := b.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			var again bytes.Buffer
+			if err := b.SnapshotTo(&again); err != nil {
+				t.Fatalf("re-snapshot: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+				t.Fatal("restored state does not re-encode to identical bytes")
+			}
+			for _, r := range records[half:] {
+				a.Add(r)
+				b.Add(r)
+			}
+			repA, repB := &Report{}, &Report{}
+			if err := a.Finalize(repA); err != nil {
+				t.Fatalf("finalize original: %v", err)
+			}
+			if err := b.Finalize(repB); err != nil {
+				t.Fatalf("finalize restored: %v", err)
+			}
+			if !reflect.DeepEqual(repA, repB) {
+				t.Fatalf("reports diverge after restore:\n%+v\nvs\n%+v", repA, repB)
+			}
+		})
+	}
+}
+
+// faultReader simulates a crash: it serves n records and then fails.
+type faultReader struct {
+	r   cdr.Reader
+	n   int
+	err error
+}
+
+func (f *faultReader) Read() (cdr.Record, error) {
+	if f.n <= 0 {
+		return cdr.Record{}, f.err
+	}
+	f.n--
+	return f.r.Read()
+}
+
+var errKilled = errors.New("simulated crash")
+
+// TestStreamingKillAndResume kills a checkpointed streaming run at
+// awkward offsets (between checkpoints), resumes from the snapshot
+// file, and demands the final report be bit-identical with an
+// uninterrupted run. Run under -race this also proves the checkpoint
+// write path is data-race free.
+func TestStreamingKillAndResume(t *testing.T) {
+	records := engineWorkload(20000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+
+	base := NewStreamingWithOptions(ctx, opts)
+	if err := base.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	want := base.Finalize()
+
+	for _, kill := range []int{1, 1500, 7777, 19999} {
+		path := filepath.Join(t.TempDir(), "stream.snap")
+		s := NewStreamingWithOptions(ctx, opts)
+		cfg := CheckpointConfig{Path: path, Every: 1500}
+		err := s.AddAllCheckpointed(
+			&faultReader{r: cdr.NewSliceReader(records), n: kill, err: errKilled}, cfg)
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("kill=%d: want simulated crash, got %v", kill, err)
+		}
+
+		// New process: restore from the last checkpoint and replay the
+		// stream from the start; the watermark skip realigns it.
+		cfg.Resume = true
+		s2 := NewStreamingWithOptions(ctx, opts)
+		if err := s2.AddAllCheckpointed(cdr.NewSliceReader(records), cfg); err != nil {
+			t.Fatalf("kill=%d resume: %v", kill, err)
+		}
+		if got := s2.Finalize(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("kill=%d: resumed report differs from uninterrupted run", kill)
+		}
+		if s2.Watermark() != int64(len(records)) {
+			t.Fatalf("kill=%d: watermark %d, want %d", kill, s2.Watermark(), len(records))
+		}
+	}
+}
+
+// TestStreamingTriggerCheckpoint covers the SIGTERM path: a fired
+// trigger makes the run write a final checkpoint and stop with
+// ErrCheckpointStop, and that checkpoint resumes cleanly.
+func TestStreamingTriggerCheckpoint(t *testing.T) {
+	records := engineWorkload(5000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+	path := filepath.Join(t.TempDir(), "stream.snap")
+
+	trig := make(chan struct{})
+	close(trig)
+	s := NewStreamingWithOptions(ctx, opts)
+	err := s.AddAllCheckpointed(cdr.NewSliceReader(records), CheckpointConfig{Path: path, Trigger: trig})
+	if !errors.Is(err, ErrCheckpointStop) {
+		t.Fatalf("want ErrCheckpointStop, got %v", err)
+	}
+
+	s2 := NewStreamingWithOptions(ctx, opts)
+	err = s2.AddAllCheckpointed(cdr.NewSliceReader(records), CheckpointConfig{Path: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewStreamingWithOptions(ctx, opts)
+	if err := base.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Finalize(), s2.Finalize()) {
+		t.Fatal("trigger-checkpointed run differs from uninterrupted run")
+	}
+}
+
+// TestEngineKillAndResume is the multi-worker acceptance criterion:
+// a 4-worker checkpointed engine run killed mid-stream (twice) and
+// resumed produces a report bit-identical with an uninterrupted run.
+// The checkpoint barrier and snapshot write run under -race in CI.
+func TestEngineKillAndResume(t *testing.T) {
+	records := engineWorkload(40000)
+	ctx := engineCtx()
+	eopts := EngineOptions{RunOptions: RunOptions{BusyCells: engineBusyCells()}, Workers: 4}
+
+	want, err := NewEngine(ctx, eopts).RunReader(cdr.NewSliceReader(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "engine.snap")
+	cfg := CheckpointConfig{Path: path, Every: 3000}
+	for i, kill := range []int{9500, 26111} {
+		e := NewEngine(ctx, eopts)
+		cfg.Resume = i > 0
+		_, err := e.RunReaderCheckpointed(
+			&faultReader{r: cdr.NewSliceReader(records), n: kill, err: errKilled}, cfg)
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("kill=%d: want simulated crash, got %v", kill, err)
+		}
+	}
+
+	cfg.Resume = true
+	got, err := NewEngine(ctx, eopts).RunReaderCheckpointed(cdr.NewSliceReader(records), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("resumed engine report differs from uninterrupted run")
+	}
+
+	// Worker-count mismatch is refused, not silently re-sharded.
+	_, err = NewEngine(ctx, EngineOptions{RunOptions: eopts.RunOptions, Workers: 2}).
+		RunReaderCheckpointed(cdr.NewSliceReader(records), CheckpointConfig{Path: path, Resume: true})
+	if err == nil {
+		t.Fatal("resume with different worker count accepted")
+	}
+}
+
+// TestPartialMergeEquivalence is the map-reduce acceptance criterion:
+// for N ∈ {1, 3, 8}, per-shard partials written by independent
+// streaming runs and merged equal the single-process report.
+func TestPartialMergeEquivalence(t *testing.T) {
+	records := engineWorkload(40000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+
+	want, err := NewEngine(ctx, EngineOptions{RunOptions: opts, Workers: 1}).Run(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			shards := cdr.ShardSlices(records, n)
+			var partials []*Partial
+			for _, shard := range shards {
+				s := NewStreamingWithOptions(ctx, opts)
+				if err := s.AddAll(cdr.NewSliceReader(shard)); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := s.SnapshotTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				p, err := ReadPartial(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				partials = append(partials, p)
+			}
+			root := partials[0]
+			for _, p := range partials[1:] {
+				if err := root.Merge(p, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := root.Finalize(); !reflect.DeepEqual(want, got) {
+				t.Fatal("merged partial report differs from single-process run")
+			}
+			if root.Records() != int64(len(records)) {
+				t.Fatalf("merged partial absorbed %d records, want %d", root.Records(), len(records))
+			}
+		})
+	}
+}
+
+// TestPartialMergeGuards covers the merge refusals: overlapping car
+// shards need allow-overlap, and partials from a different study
+// configuration are rejected outright.
+func TestPartialMergeGuards(t *testing.T) {
+	records := engineWorkload(5000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+
+	partial := func(recs []cdr.Record, o RunOptions) *Partial {
+		t.Helper()
+		s := NewStreamingWithOptions(ctx, o)
+		if err := s.AddAll(cdr.NewSliceReader(recs)); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.SnapshotTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ReadPartial(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// The same records twice share every car.
+	a, b := partial(records, opts), partial(records, opts)
+	if err := a.Merge(b, false); err == nil {
+		t.Fatal("overlapping partials merged without allow-overlap")
+	}
+	if err := a.Merge(b, true); err != nil {
+		t.Fatalf("allow-overlap merge refused: %v", err)
+	}
+
+	// A different clustering seed is a different study configuration.
+	seeded := opts
+	seeded.Seed = 99
+	c := partial(records, seeded)
+	if err := partial(records, opts).Merge(c, true); err == nil {
+		t.Fatal("partials with different seeds merged")
+	}
+}
+
+// TestPartialFileRoundTrip pins the file workflow carmerge uses:
+// write, read, merge, re-write merged, read again, finalize.
+func TestPartialFileRoundTrip(t *testing.T) {
+	records := engineWorkload(8000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+	dir := t.TempDir()
+
+	shards := cdr.ShardSlices(records, 2)
+	paths := make([]string, 2)
+	for i, shard := range shards {
+		s := NewStreamingWithOptions(ctx, opts)
+		if err := s.AddAll(cdr.NewSliceReader(shard)); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.snap", i))
+		if err := s.WriteSnapshot(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := ReadPartialFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadPartialFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b, false); err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(dir, "merged.snap")
+	if err := a.WriteSnapshot(merged); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPartialFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEngine(ctx, EngineOptions{RunOptions: opts, Workers: 1}).Run(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Finalize(); !reflect.DeepEqual(want, got) {
+		t.Fatal("file round-tripped merged partial differs from single-process run")
+	}
+}
+
+// TestSnapshotDeterministicBytes: the same state serializes to the
+// same bytes, including across a restore cycle.
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	records := engineWorkload(5000)
+	ctx := engineCtx()
+	opts := RunOptions{BusyCells: engineBusyCells()}
+	s := NewStreamingWithOptions(ctx, opts)
+	if err := s.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	var one, two bytes.Buffer
+	if err := s.SnapshotTo(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SnapshotTo(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("same state encoded differently twice")
+	}
+	p, err := ReadPartial(bytes.NewReader(one.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var three bytes.Buffer
+	if err := p.SnapshotTo(&three); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), three.Bytes()) {
+		t.Fatal("restored state re-encoded differently")
+	}
+}
+
+// TestAnalysisSnapshotTruncation: every strict prefix of a valid
+// analysis snapshot is a detected ErrBadSnapshot, never a partial
+// success or a panic.
+func TestAnalysisSnapshotTruncation(t *testing.T) {
+	records := engineWorkload(60)
+	ctx := engineCtx()
+	s := NewStreamingWithOptions(ctx, RunOptions{BusyCells: engineBusyCells()})
+	if err := s.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadPartial(bytes.NewReader(data[:cut])); !errors.Is(err, snapshot.ErrBadSnapshot) {
+			t.Fatalf("truncation at %d/%d: got %v", cut, len(data), err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"errors"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -177,10 +178,12 @@ func TestRunStageIsolation(t *testing.T) {
 // panicAcc is a stage accumulator that explodes on its first record.
 type panicAcc struct{}
 
-func (panicAcc) Stage() string          { return "presence" }
-func (panicAcc) Add(cdr.Record)         { panic("stage exploded") }
-func (panicAcc) Merge(Accumulator)      {}
-func (panicAcc) Finalize(*Report) error { return nil }
+func (panicAcc) Stage() string               { return "presence" }
+func (panicAcc) Add(cdr.Record)              { panic("stage exploded") }
+func (panicAcc) Merge(Accumulator)           {}
+func (panicAcc) Finalize(*Report) error      { return nil }
+func (panicAcc) SnapshotTo(io.Writer) error  { return nil }
+func (panicAcc) RestoreFrom(io.Reader) error { return nil }
 
 // TestRunStageRecoversPanic proves a panicking stage degrades to a
 // diagnostic instead of killing the run: the engine drops the stage,

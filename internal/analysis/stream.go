@@ -22,7 +22,9 @@ import (
 // Finalize. The load-dependent stages (Table 2, Figure 7) run only
 // when constructed with a load source via NewStreamingWithContext.
 type Streaming struct {
-	set *accumSet
+	ctx  Context
+	opts EngineOptions
+	set  *accumSet
 }
 
 // NewStreaming returns an empty accumulator over the period. The
@@ -34,8 +36,25 @@ func NewStreaming(period simtime.Period) *Streaming {
 
 // NewStreamingWithContext returns an empty accumulator with full
 // context: a load source enables the Table 2 and Figure 7 stages.
+// Options take their defaults (RareDays {10, 30}, Seed 1); use
+// NewStreamingWithOptions to override them.
 func NewStreamingWithContext(ctx Context) *Streaming {
-	return &Streaming{set: newAccumSet(ctx, EngineOptions{RunOptions: RunOptions{RareDays: []int{10, 30}, Seed: 1}})}
+	return NewStreamingWithOptions(ctx, RunOptions{})
+}
+
+// NewStreamingWithOptions returns an empty accumulator with explicit
+// run options — rare-day thresholds, clustering cells and seed, the
+// FailStage chaos hook. Zero-value options default as in NewEngine.
+// Workers is ignored: a Streaming accumulator is one worker's set.
+func NewStreamingWithOptions(ctx Context, opts RunOptions) *Streaming {
+	if opts.RareDays == nil {
+		opts.RareDays = []int{10, 30}
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	eo := EngineOptions{RunOptions: opts, Workers: 1}
+	return &Streaming{ctx: ctx, opts: eo, set: newAccumSet(ctx, eo)}
 }
 
 // Add accumulates one raw record; exactly-one-hour ghosts are dropped

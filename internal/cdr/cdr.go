@@ -122,6 +122,23 @@ func ReadAll(r Reader) ([]Record, error) {
 	}
 }
 
+// Skip consumes and discards n records from r — the replay fast-path
+// a checkpoint resume uses to advance a freshly opened stream to its
+// watermark. A stream that ends before n records is reported as an
+// error wrapping ErrTruncated: resuming past the end of the input
+// means the checkpoint and the data file do not belong together.
+func Skip(r Reader, n int64) error {
+	for i := int64(0); i < n; i++ {
+		if _, err := r.Read(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("cdr: stream ended after %d of %d skipped records: %w", i, n, ErrTruncated)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteAll writes every record to w.
 func WriteAll(w Writer, records []Record) error {
 	for _, r := range records {

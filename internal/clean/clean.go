@@ -169,6 +169,19 @@ func (z *Sessionizer) Snapshot() []Session {
 	return out
 }
 
+// RestoreOpen replaces the sessionizer's open-session state with the
+// given sessions (at most one per car, as produced by Snapshot) — the
+// restore half of checkpointing. Sessions are copied in; a later
+// session for the same car replaces an earlier one.
+func (z *Sessionizer) RestoreOpen(sessions []Session) {
+	z.open = make(map[cdr.CarID]*Session, len(sessions))
+	for i := range sessions {
+		s := sessions[i]
+		s.Spans = append([]CellSpan(nil), sessions[i].Spans...)
+		z.open[s.Car] = &s
+	}
+}
+
 // Flush closes and returns every open session, ordered by car id
 // ascending for determinism. The sessionizer is reusable afterwards.
 func (z *Sessionizer) Flush() []Session {

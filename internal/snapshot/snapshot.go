@@ -1,0 +1,462 @@
+// Package snapshot is the binary codec under the pipeline's durable
+// checkpoints: a versioned, length-prefixed frame container with
+// per-frame CRC-32 integrity, plus sticky-error primitive encoders
+// for the values the analysis accumulators persist.
+//
+// A snapshot file is
+//
+//	magic "CCARSNAP" | uvarint version | frame* | end marker
+//
+// where each frame is
+//
+//	uvarint len(name) (> 0) | name | uvarint len(payload) | crc32(payload) | payload
+//
+// and the end marker is a single zero byte (a zero-length name). The
+// container knows nothing about frame contents; the analysis layer
+// names frames ("header", "worker", "stage:presence", …) and encodes
+// payloads with Encoder/Decoder. Length prefixes make unknown frames
+// skippable; the CRC makes bit flips a detected error instead of a
+// silently corrupt report.
+//
+// Every malformed-input condition — bad magic, unsupported version,
+// truncated stream, CRC mismatch, over-limit lengths, or a primitive
+// read past the end of a frame — is reported as an error wrapping
+// ErrBadSnapshot and never as a panic.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrBadSnapshot marks a snapshot stream that is malformed or corrupt:
+// truncated, bit-flipped, wrong magic, or an unsupported version.
+var ErrBadSnapshot = errors.New("snapshot: malformed or corrupt snapshot")
+
+// Version is the current snapshot schema version. Readers refuse
+// other versions: partial-state layouts are not forward compatible.
+const Version = 1
+
+var magic = [8]byte{'C', 'C', 'A', 'R', 'S', 'N', 'A', 'P'}
+
+const (
+	// maxNameLen bounds a frame name; names are short stage labels.
+	maxNameLen = 255
+	// maxFrameLen bounds one frame's payload (1 GiB). Real stage
+	// payloads are far smaller; the bound keeps a forged length from
+	// turning into an allocation bomb.
+	maxFrameLen = 1 << 30
+)
+
+// badf returns a formatted error wrapping ErrBadSnapshot.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("snapshot: "+format+": %w", append(args, ErrBadSnapshot)...)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoder
+
+// Encoder appends primitive values to an io.Writer with a sticky
+// error: the first write failure latches and subsequent calls are
+// no-ops, so encoding code reads straight-line and checks Err once.
+type Encoder struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewEncoder returns an encoder over w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first write error, or nil.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(x uint64) {
+	n := binary.PutUvarint(e.buf[:], x)
+	e.write(e.buf[:n])
+}
+
+// Varint appends a zig-zag signed varint.
+func (e *Encoder) Varint(x int64) {
+	n := binary.PutVarint(e.buf[:], x)
+	e.write(e.buf[:n])
+}
+
+// F64 appends a float64 as its fixed 8-byte little-endian bit pattern.
+func (e *Encoder) F64(x float64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], math.Float64bits(x))
+	e.write(e.buf[:8])
+}
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.write([]byte{1})
+	} else {
+		e.write([]byte{0})
+	}
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive decoder
+
+// Decoder reads primitive values with a sticky error: the first
+// failure latches, subsequent reads return zero values, and decoding
+// code checks Err once at the end. Any read past the end of input is
+// an ErrBadSnapshot, never a panic.
+type Decoder struct {
+	r   io.ByteReader
+	rd  io.Reader
+	err error
+}
+
+// NewDecoder returns a decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	if br, ok := r.(interface {
+		io.ByteReader
+		io.Reader
+	}); ok {
+		return &Decoder{r: br, rd: br}
+	}
+	br := bufio.NewReader(r)
+	return &Decoder{r: br, rd: br}
+}
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Failf records a validation failure (wrapping ErrBadSnapshot) unless
+// an error is already latched.
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = badf(format, args...)
+	}
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err != nil {
+		return
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		d.err = badf("unexpected end of snapshot data")
+		return
+	}
+	d.err = err
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return x
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return x
+}
+
+// F64 reads a fixed 8-byte little-endian float64.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.rd, b[:]); err != nil {
+		d.fail(err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Bool reads a one-byte boolean; any value other than 0 or 1 is a
+// decode failure.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.fail(err)
+		return false
+	}
+	if b > 1 {
+		d.Failf("bad boolean byte %d", b)
+		return false
+	}
+	return b == 1
+}
+
+// String reads a length-prefixed string of at most maxNameLen bytes.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxNameLen {
+		d.Failf("string length %d exceeds limit %d", n, maxNameLen)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.rd, b); err != nil {
+		d.fail(err)
+		return ""
+	}
+	return string(b)
+}
+
+// Len reads a collection length and validates it against max,
+// returning -1 on failure. Decoding loops use it so that a corrupt
+// count can never drive an allocation or iteration bomb.
+func (d *Decoder) Len(max int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return -1
+	}
+	if max >= 0 && n > uint64(max) {
+		d.Failf("length %d exceeds limit %d", n, max)
+		return -1
+	}
+	if n > math.MaxInt32 {
+		d.Failf("length %d not representable", n)
+		return -1
+	}
+	return int(n)
+}
+
+// ---------------------------------------------------------------------------
+// Frame container writer
+
+// Writer emits a snapshot frame stream. Frames buffer in memory until
+// End so each carries an exact length prefix and CRC. Like the
+// encoders, Writer latches the first error; Close reports it.
+type Writer struct {
+	dst    io.Writer
+	frame  bytes.Buffer
+	enc    *Encoder
+	name   string
+	closed bool
+	err    error
+}
+
+// NewWriter starts a snapshot stream on dst, writing the magic and
+// version immediately.
+func NewWriter(dst io.Writer) *Writer {
+	w := &Writer{dst: dst}
+	w.enc = NewEncoder(&w.frame)
+	if _, err := dst.Write(magic[:]); err != nil {
+		w.err = err
+		return w
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], Version)
+	if _, err := dst.Write(buf[:n]); err != nil {
+		w.err = err
+	}
+	return w
+}
+
+// Begin opens a named frame and returns the encoder for its payload.
+// Frames do not nest; Begin before End of the previous frame panics
+// (a programming bug, not a data condition).
+func (w *Writer) Begin(name string) *Encoder {
+	if w.name != "" {
+		panic(fmt.Sprintf("snapshot: Begin(%q) inside open frame %q", name, w.name))
+	}
+	if name == "" || len(name) > maxNameLen {
+		panic(fmt.Sprintf("snapshot: bad frame name %q", name))
+	}
+	w.name = name
+	w.frame.Reset()
+	return w.enc
+}
+
+// End closes the open frame and writes it to the stream.
+func (w *Writer) End() {
+	if w.name == "" {
+		panic("snapshot: End without Begin")
+	}
+	name := w.name
+	w.name = ""
+	if w.err == nil {
+		w.err = w.enc.Err()
+	}
+	w.writeFrame(name, w.frame.Bytes())
+}
+
+// RawFrame writes a frame with an externally encoded payload — the
+// path the analysis layer uses for accumulator SnapshotTo output.
+func (w *Writer) RawFrame(name string, payload []byte) {
+	if w.name != "" {
+		panic(fmt.Sprintf("snapshot: RawFrame(%q) inside open frame %q", name, w.name))
+	}
+	if name == "" || len(name) > maxNameLen {
+		panic(fmt.Sprintf("snapshot: bad frame name %q", name))
+	}
+	w.writeFrame(name, payload)
+}
+
+func (w *Writer) writeFrame(name string, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(payload) > maxFrameLen {
+		w.err = fmt.Errorf("snapshot: frame %q payload %d bytes exceeds limit", name, len(payload))
+		return
+	}
+	e := NewEncoder(w.dst)
+	e.Uvarint(uint64(len(name)))
+	e.write([]byte(name))
+	e.Uvarint(uint64(len(payload)))
+	// The CRC covers the name as well as the payload so that a bit
+	// flip in either is detected.
+	sum := crc32.ChecksumIEEE([]byte(name))
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	e.write(crc[:])
+	e.write(payload)
+	w.err = e.Err()
+}
+
+// Close writes the end marker and returns the first error seen. The
+// writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return errors.New("snapshot: writer already closed")
+	}
+	if w.name != "" {
+		panic(fmt.Sprintf("snapshot: Close inside open frame %q", w.name))
+	}
+	w.closed = true
+	if w.err == nil {
+		_, w.err = w.dst.Write([]byte{0})
+	}
+	return w.err
+}
+
+// ---------------------------------------------------------------------------
+// Frame container reader
+
+// Reader consumes a snapshot frame stream written by Writer.
+type Reader struct {
+	br      *bufio.Reader
+	version int
+	done    bool
+}
+
+// NewReader validates the magic and version of the stream and returns
+// a frame reader. A bad header is reported as ErrBadSnapshot.
+func NewReader(src io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(src, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, badf("header truncated")
+	}
+	if m != magic {
+		return nil, badf("bad magic %q", m)
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, badf("version truncated")
+	}
+	if v != Version {
+		return nil, badf("unsupported snapshot version %d (want %d)", v, Version)
+	}
+	return &Reader{br: br, version: int(v)}, nil
+}
+
+// SchemaVersion returns the stream's schema version.
+func (r *Reader) SchemaVersion() int { return r.version }
+
+// Next reads the next frame, validates its CRC, and returns its name
+// and a decoder over the payload. It returns io.EOF at the end marker;
+// a stream that stops without one is ErrBadSnapshot.
+func (r *Reader) Next() (string, *Decoder, error) {
+	name, payload, err := r.NextFrame()
+	if err != nil {
+		return "", nil, err
+	}
+	return name, NewDecoder(bytes.NewReader(payload)), nil
+}
+
+// NextFrame is Next returning the raw validated payload instead of a
+// decoder — the path for frames whose payload is itself a nested
+// encoding (accumulator snapshots).
+func (r *Reader) NextFrame() (string, []byte, error) {
+	if r.done {
+		return "", nil, io.EOF
+	}
+	nameLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return "", nil, badf("frame header truncated")
+	}
+	if nameLen == 0 {
+		r.done = true
+		return "", nil, io.EOF
+	}
+	if nameLen > maxNameLen {
+		return "", nil, badf("frame name length %d exceeds limit", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r.br, name); err != nil {
+		return "", nil, badf("frame name truncated")
+	}
+	payLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return "", nil, badf("frame %q length truncated", name)
+	}
+	if payLen > maxFrameLen {
+		return "", nil, badf("frame %q payload %d bytes exceeds limit", name, payLen)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r.br, crc[:]); err != nil {
+		return "", nil, badf("frame %q checksum truncated", name)
+	}
+	// CopyN grows the buffer as bytes actually arrive, so a forged
+	// length cannot allocate ahead of the data.
+	var payload bytes.Buffer
+	if _, err := io.CopyN(&payload, r.br, int64(payLen)); err != nil {
+		return "", nil, badf("frame %q payload truncated", name)
+	}
+	sum := crc32.ChecksumIEEE(name)
+	sum = crc32.Update(sum, crc32.IEEETable, payload.Bytes())
+	if sum != binary.LittleEndian.Uint32(crc[:]) {
+		return "", nil, badf("frame %q checksum mismatch", name)
+	}
+	return string(name), payload.Bytes(), nil
+}

@@ -1,0 +1,177 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// buildStream writes a two-frame snapshot exercising every primitive.
+func buildStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	e := w.Begin("header")
+	e.Uvarint(90)
+	e.Varint(-5 * 3600)
+	e.F64(math.Pi)
+	e.Bool(true)
+	e.String("study")
+	w.End()
+	w.RawFrame("stage:presence", []byte{1, 2, 3, 4})
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	data := buildStream(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SchemaVersion() != Version {
+		t.Fatalf("version %d", r.SchemaVersion())
+	}
+
+	name, d, err := r.Next()
+	if err != nil || name != "header" {
+		t.Fatalf("frame 1: %q, %v", name, err)
+	}
+	if got := d.Uvarint(); got != 90 {
+		t.Fatalf("uvarint %d", got)
+	}
+	if got := d.Varint(); got != -5*3600 {
+		t.Fatalf("varint %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Fatalf("f64 %v", got)
+	}
+	if !d.Bool() {
+		t.Fatal("bool")
+	}
+	if got := d.String(); got != "study" {
+		t.Fatalf("string %q", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode err: %v", d.Err())
+	}
+
+	name, d, err = r.Next()
+	if err != nil || name != "stage:presence" {
+		t.Fatalf("frame 2: %q, %v", name, err)
+	}
+	var payload [4]byte
+	if d.Uvarint() != 1 {
+		t.Fatalf("raw payload: %v", payload)
+	}
+
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end marker, got %v", err)
+	}
+	// Next after EOF stays EOF.
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("second Next: %v", err)
+	}
+}
+
+// TestTruncationsReturnErrBadSnapshot: every strict prefix of a valid
+// stream must produce ErrBadSnapshot (from NewReader or Next), never a
+// panic and never a clean EOF.
+func TestTruncationsReturnErrBadSnapshot(t *testing.T) {
+	data := buildStream(t)
+	for cut := 0; cut < len(data); cut++ {
+		err := drain(data[:cut])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed cleanly", cut, len(data))
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("prefix %d: error %v does not wrap ErrBadSnapshot", cut, err)
+		}
+	}
+	if err := drain(data); err != nil {
+		t.Fatalf("full stream: %v", err)
+	}
+}
+
+// TestBitFlipsReturnErrBadSnapshot: flipping any single bit of a valid
+// stream must surface as an error (CRC or framing), never a panic.
+// Flips inside frame payloads must specifically be caught by the CRC.
+func TestBitFlipsReturnErrBadSnapshot(t *testing.T) {
+	data := buildStream(t)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			if err := drain(mut); err == nil {
+				t.Fatalf("flip byte %d bit %d parsed cleanly", i, bit)
+			} else if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("flip byte %d bit %d: %v does not wrap ErrBadSnapshot", i, bit, err)
+			}
+		}
+	}
+}
+
+// drain parses a stream to completion, decoding nothing (framing and
+// CRC only), and returns the first error. A clean stream returns nil.
+func drain(data []byte) error {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		_, _, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func TestDecoderLimits(t *testing.T) {
+	// A claimed string longer than the limit fails instead of
+	// allocating.
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Uvarint(1 << 40)
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if s := d.String(); d.Err() == nil {
+		t.Fatalf("oversized string length accepted: %q", s)
+	}
+	if !errors.Is(d.Err(), ErrBadSnapshot) {
+		t.Fatalf("error %v does not wrap ErrBadSnapshot", d.Err())
+	}
+
+	// Len enforces the caller's bound.
+	buf.Reset()
+	NewEncoder(&buf).Uvarint(5000)
+	d = NewDecoder(bytes.NewReader(buf.Bytes()))
+	if n := d.Len(100); n != -1 || d.Err() == nil {
+		t.Fatalf("Len(100) over 5000 = %d, err %v", n, d.Err())
+	}
+
+	// Bad boolean byte.
+	d = NewDecoder(bytes.NewReader([]byte{7}))
+	if d.Bool(); !errors.Is(d.Err(), ErrBadSnapshot) {
+		t.Fatalf("bad bool byte: %v", d.Err())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder(bytes.NewReader(nil))
+	_ = d.Uvarint()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("no error on empty input")
+	}
+	_ = d.Varint()
+	_ = d.F64()
+	if d.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"sort"
+
+	"cellcars/internal/snapshot"
+)
+
+// This file gives every mergeable statistics structure a snapshot
+// codec, so analysis accumulators can persist their partial state and
+// resume it bit-identically. Encoding is deterministic (sparse layouts
+// are emitted in ascending key order) and every Restore validates the
+// decoded shape, reporting corruption through the decoder's sticky
+// ErrBadSnapshot instead of panicking.
+
+// Snapshot serializes the accumulated moments.
+func (m *Moments) Snapshot(e *snapshot.Encoder) {
+	e.Varint(m.n)
+	e.F64(m.mean)
+	e.F64(m.m2)
+	e.F64(m.min)
+	e.F64(m.max)
+}
+
+// Restore replaces m with state written by Snapshot.
+func (m *Moments) Restore(d *snapshot.Decoder) {
+	n := d.Varint()
+	mean, m2, min, max := d.F64(), d.F64(), d.F64(), d.F64()
+	if d.Err() != nil {
+		return
+	}
+	if n < 0 {
+		d.Failf("moments count %d negative", n)
+		return
+	}
+	m.n, m.mean, m.m2, m.min, m.max = n, mean, m2, min, max
+}
+
+// Snapshot serializes the histogram, including its layout, as a
+// sparse (bin, count) list.
+func (h *Histogram) Snapshot(e *snapshot.Encoder) {
+	e.F64(h.Lo)
+	e.F64(h.Width)
+	e.Uvarint(uint64(len(h.Counts)))
+	nonzero := 0
+	for _, c := range h.Counts {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	e.Uvarint(uint64(nonzero))
+	for bin, c := range h.Counts {
+		if c != 0 {
+			e.Uvarint(uint64(bin))
+			e.Varint(c)
+		}
+	}
+	e.Varint(h.Under)
+	e.Varint(h.Over)
+}
+
+// Restore replaces h with state written by Snapshot. The stored layout
+// must match h's (same origin, width, and bin count).
+func (h *Histogram) Restore(d *snapshot.Decoder) {
+	lo, width := d.F64(), d.F64()
+	nbins := d.Len(1 << 24)
+	if d.Err() != nil {
+		return
+	}
+	if lo != h.Lo || width != h.Width || nbins != len(h.Counts) {
+		d.Failf("histogram layout [%v,%v)×%d does not match [%v,%v)×%d",
+			lo, width, nbins, h.Lo, h.Width, len(h.Counts))
+		return
+	}
+	counts := make([]int64, nbins)
+	n := d.Len(nbins)
+	for i := 0; i < n; i++ {
+		bin := d.Len(nbins - 1)
+		c := d.Varint()
+		if d.Err() != nil {
+			return
+		}
+		if c < 0 {
+			d.Failf("histogram bin %d count %d negative", bin, c)
+			return
+		}
+		counts[bin] = c
+	}
+	under, over := d.Varint(), d.Varint()
+	if d.Err() != nil {
+		return
+	}
+	if under < 0 || over < 0 {
+		d.Failf("histogram under/over counts negative")
+		return
+	}
+	h.Counts, h.Under, h.Over = counts, under, over
+}
+
+// Snapshot serializes the log histogram as a sparse (bin, count) list.
+func (h *LogHist) Snapshot(e *snapshot.Encoder) {
+	e.Varint(h.total)
+	e.Varint(h.zero)
+	nonzero := 0
+	for _, c := range h.counts {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	e.Uvarint(uint64(nonzero))
+	for bin, c := range h.counts {
+		if c != 0 {
+			e.Uvarint(uint64(bin))
+			e.Varint(c)
+		}
+	}
+}
+
+// Restore replaces h with state written by Snapshot.
+func (h *LogHist) Restore(d *snapshot.Decoder) {
+	total, zero := d.Varint(), d.Varint()
+	n := d.Len(LogHistBins)
+	if d.Err() != nil {
+		return
+	}
+	if total < 0 || zero < 0 {
+		d.Failf("log histogram totals negative")
+		return
+	}
+	var counts [LogHistBins]int64
+	sum := zero
+	for i := 0; i < n; i++ {
+		bin := d.Len(LogHistBins - 1)
+		c := d.Varint()
+		if d.Err() != nil {
+			return
+		}
+		if c < 0 {
+			d.Failf("log histogram bin %d count %d negative", bin, c)
+			return
+		}
+		counts[bin] = c
+		sum += c
+	}
+	if sum != total {
+		d.Failf("log histogram counts sum %d but total is %d", sum, total)
+		return
+	}
+	h.total, h.zero, h.counts = total, zero, counts
+}
+
+// Snapshot serializes the bottom-k sample. Items are emitted in
+// ascending (key, value) order so equal samples encode identically
+// regardless of internal heap layout.
+func (s *Sample) Snapshot(e *snapshot.Encoder) {
+	e.Uvarint(uint64(s.k))
+	e.Varint(s.n)
+	items := append([]sampleItem(nil), s.items...)
+	sort.Slice(items, func(i, j int) bool { return itemLess(items[i], items[j]) })
+	e.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		e.Uvarint(it.key)
+		e.F64(it.val)
+	}
+}
+
+// Restore replaces s with state written by Snapshot. The stored
+// capacity must match s's.
+func (s *Sample) Restore(d *snapshot.Decoder) {
+	k := d.Len(1 << 30)
+	n := d.Varint()
+	if d.Err() != nil {
+		return
+	}
+	if k != s.k {
+		d.Failf("sample capacity %d does not match %d", k, s.k)
+		return
+	}
+	count := d.Len(k)
+	if d.Err() != nil {
+		return
+	}
+	if n < int64(count) {
+		d.Failf("sample population %d below kept size %d", n, count)
+		return
+	}
+	items := make([]sampleItem, 0, count)
+	for i := 0; i < count; i++ {
+		key := d.Uvarint()
+		val := d.F64()
+		if d.Err() != nil {
+			return
+		}
+		items = append(items, sampleItem{key: key, val: val})
+	}
+	s.n = 0
+	s.items = s.items[:0]
+	for _, it := range items {
+		s.Add(it.key, it.val)
+	}
+	s.n = n
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"cellcars/internal/snapshot"
+)
+
+// roundTrip encodes via snap, decodes via restore, and fails on any
+// codec error.
+func roundTrip(t *testing.T, snap func(*snapshot.Encoder), restore func(*snapshot.Decoder)) {
+	t.Helper()
+	var buf bytes.Buffer
+	e := snapshot.NewEncoder(&buf)
+	snap(e)
+	if e.Err() != nil {
+		t.Fatalf("encode: %v", e.Err())
+	}
+	d := snapshot.NewDecoder(bytes.NewReader(buf.Bytes()))
+	restore(d)
+	if d.Err() != nil {
+		t.Fatalf("restore: %v", d.Err())
+	}
+}
+
+func TestMomentsSnapshotRoundTrip(t *testing.T) {
+	var m Moments
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 1000; i++ {
+		m.Add(rng.Float64()*100 - 50)
+	}
+	var got Moments
+	roundTrip(t, m.Snapshot, got.Restore)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip: %+v vs %+v", m, got)
+	}
+	// Merge-equivalence: restored state keeps accumulating identically.
+	var extra Moments
+	for i := 0; i < 100; i++ {
+		extra.Add(float64(i))
+	}
+	m.Merge(&extra)
+	got.Merge(&extra)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("merge after restore diverged")
+	}
+}
+
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	h := NewHistogram(0.5, 1, 90)
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 5000; i++ {
+		h.Add(rng.Float64()*100 - 3)
+	}
+	got := NewHistogram(0.5, 1, 90)
+	roundTrip(t, h.Snapshot, got.Restore)
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("round trip mismatch")
+	}
+
+	// A layout mismatch is a detected error, not silent corruption.
+	other := NewHistogram(0, 2, 90)
+	var buf bytes.Buffer
+	e := snapshot.NewEncoder(&buf)
+	h.Snapshot(e)
+	d := snapshot.NewDecoder(bytes.NewReader(buf.Bytes()))
+	other.Restore(d)
+	if !errors.Is(d.Err(), snapshot.ErrBadSnapshot) {
+		t.Fatalf("layout mismatch: %v", d.Err())
+	}
+}
+
+func TestLogHistSnapshotRoundTrip(t *testing.T) {
+	var h LogHist
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 20000; i++ {
+		h.Add(rng.Float64() * 2000)
+	}
+	var got LogHist
+	roundTrip(t, h.Snapshot, got.Restore)
+	if !reflect.DeepEqual(h, got) {
+		t.Fatal("round trip mismatch")
+	}
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		if h.Quantile(q) != got.Quantile(q) {
+			t.Fatalf("quantile %v differs", q)
+		}
+	}
+
+	// Corrupt total: counts no longer sum to it.
+	var buf bytes.Buffer
+	e := snapshot.NewEncoder(&buf)
+	e.Varint(h.total + 5)
+	e.Varint(h.zero)
+	e.Uvarint(0)
+	var bad LogHist
+	d := snapshot.NewDecoder(bytes.NewReader(buf.Bytes()))
+	bad.Restore(d)
+	if !errors.Is(d.Err(), snapshot.ErrBadSnapshot) {
+		t.Fatalf("inconsistent total accepted: %v", d.Err())
+	}
+}
+
+func TestSampleSnapshotRoundTrip(t *testing.T) {
+	s := NewSample(256)
+	rng := rand.New(rand.NewPCG(10, 10))
+	for i := 0; i < 5000; i++ {
+		s.Add(rng.Uint64(), rng.Float64()*600)
+	}
+	got := NewSample(256)
+	roundTrip(t, s.Snapshot, got.Restore)
+	if got.N() != s.N() || got.Complete() != s.Complete() {
+		t.Fatalf("population: %d vs %d", got.N(), s.N())
+	}
+	if !reflect.DeepEqual(s.Values(), got.Values()) {
+		t.Fatal("kept values differ")
+	}
+
+	// The restored sample must keep the bottom-k property under
+	// further adds: feed both the same extra stream and compare.
+	for i := 0; i < 2000; i++ {
+		k, v := rng.Uint64(), rng.Float64()*600
+		s.Add(k, v)
+		got.Add(k, v)
+	}
+	if !reflect.DeepEqual(s.Values(), got.Values()) {
+		t.Fatal("post-restore adds diverged")
+	}
+
+	// Capacity mismatch is detected.
+	var buf bytes.Buffer
+	e := snapshot.NewEncoder(&buf)
+	s.Snapshot(e)
+	wrong := NewSample(16)
+	d := snapshot.NewDecoder(bytes.NewReader(buf.Bytes()))
+	wrong.Restore(d)
+	if !errors.Is(d.Err(), snapshot.ErrBadSnapshot) {
+		t.Fatalf("capacity mismatch accepted: %v", d.Err())
+	}
+}
+
+// TestSampleSnapshotDeterministic: two samples holding the same item
+// set in different heap layouts must encode to identical bytes.
+func TestSampleSnapshotDeterministic(t *testing.T) {
+	a := NewSample(64)
+	b := NewSample(64)
+	rng := rand.New(rand.NewPCG(11, 11))
+	items := make([]sampleItem, 500)
+	for i := range items {
+		items[i] = sampleItem{key: rng.Uint64(), val: rng.Float64()}
+	}
+	for _, it := range items {
+		a.Add(it.key, it.val)
+	}
+	for i := len(items) - 1; i >= 0; i-- {
+		b.Add(items[i].key, items[i].val)
+	}
+	var ba, bb bytes.Buffer
+	a.Snapshot(snapshot.NewEncoder(&ba))
+	b.Snapshot(snapshot.NewEncoder(&bb))
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("same sample content encoded differently")
+	}
+}
