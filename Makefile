@@ -18,8 +18,11 @@ bench:
 
 # A fast CI invocation of the same harness: small workload, one rep,
 # result discarded. Catches bit-rot in the bench path, not performance.
+# The grep asserts the instrumented run produced its per-stage timing
+# section — the observability layer silently off would pass otherwise.
 bench-smoke:
 	$(GO) run ./cmd/enginebench -records 50000 -reps 1 -workers 1,4 -ckpt-every 20000 -out BENCH_engine.smoke.json
+	grep -q '"stages"' BENCH_engine.smoke.json
 	rm -f BENCH_engine.smoke.json
 
 test:

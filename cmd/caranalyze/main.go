@@ -36,6 +36,7 @@ import (
 	"cellcars/internal/analysis"
 	"cellcars/internal/cdr"
 	"cellcars/internal/load"
+	"cellcars/internal/obs"
 	"cellcars/internal/radio"
 	"cellcars/internal/report"
 	"cellcars/internal/simtime"
@@ -66,6 +67,11 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "with -stream: write periodic state checkpoints to this file (and on SIGTERM/SIGINT)")
 		ckptEvery  = flag.Int64("checkpoint-every", 100_000, "with -checkpoint: records between periodic checkpoints (0: signal-only)")
 		resume     = flag.Bool("resume", false, "with -checkpoint: restore state from the checkpoint file if it exists and skip past its watermark")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof on this address while running")
+		progress  = flag.Bool("progress", false, "print throughput/ETA progress lines to stderr while analyzing")
+		progEvery = flag.Duration("progress-every", 5*time.Second, "with -progress: interval between progress lines")
+		traceOut  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	)
 	flag.Parse()
 	// The input file may also be given positionally:
@@ -92,7 +98,6 @@ func main() {
 		MinStart:   period.Start().AddDate(0, 0, -7),
 		MaxStart:   period.End().AddDate(0, 0, 7),
 	}
-	var qclose func() error
 	if *quarantine != "" {
 		qf, err := os.Create(*quarantine)
 		if err != nil {
@@ -100,33 +105,62 @@ func main() {
 		}
 		qw := cdr.NewQuarantineWriter(qf)
 		ingest.Sink = qw
-		qclose = func() error {
+		// Flush the quarantine file even on fatal exits: the audit
+		// trail matters most when the run aborts.
+		atExit = func() error {
 			if err := qw.Close(); err != nil {
 				return err
 			}
 			return qf.Close()
 		}
 	}
-	// Flush the quarantine file even on fatal exits: the audit trail
-	// matters most when the run aborts.
-	atExit = func() {
-		if qclose != nil {
-			err := qclose()
-			qclose = nil
-			if err != nil {
-				// A lost audit trail is a failed run: propagate to the
-				// exit code instead of pretending the file is whole.
-				fmt.Fprintf(os.Stderr, "caranalyze: close quarantine file: %v\n", err)
-				os.Exit(1)
-			}
+	// A lost audit trail is a failed run: propagate a close failure to
+	// the exit code instead of pretending the file is whole. runAtExit
+	// clears the hook first, so this fatal cannot re-enter the cleanup.
+	defer func() {
+		if err := runAtExit(); err != nil {
+			fatal("close quarantine file: %v", err)
 		}
+	}()
+
+	// The observability layer is always on for the CLI: a registry
+	// costs nothing to keep and lets -debug-addr expose a live run.
+	reg := obs.New()
+	ingest.Obs = reg
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "caranalyze: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
-	defer atExit()
+	var trace *obs.Trace
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("open trace file: %v", err)
+		}
+		trace = obs.NewTrace(tf)
+		defer func() {
+			if err := trace.Err(); err != nil {
+				fatal("write trace: %v", err)
+			}
+			if err := tf.Close(); err != nil {
+				fatal("close trace file: %v", err)
+			}
+		}()
+	}
+	if *progress {
+		prog := obs.NewProgress(os.Stderr, "records", *progEvery, totalRecordsHint(*in), progressCurrent(reg))
+		prog.Start()
+		defer prog.Stop()
+	}
 
 	var records []cdr.Record
 	var istats cdr.IngestStats
 	ctx := analysis.Context{Period: period, TZOffsetSeconds: *tz * 3600}
-	opts := analysis.RunOptions{Seed: *seed, FailStage: *failStage, Workers: *workers}
+	opts := analysis.RunOptions{Seed: *seed, FailStage: *failStage, Workers: *workers, Obs: reg}
 	// Scale the rare thresholds with the study length (10 and 30 of 90).
 	rare := []int{max(1, *days/9), max(2, *days/3)}
 	var model *load.Model
@@ -140,16 +174,20 @@ func main() {
 				fatal("%s exists; use -force to overwrite", *partial)
 			}
 		}
-		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare}
+		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare, Obs: reg}
 		if err := runPartial(*in, *partial, ctx, sopts, ingest); err != nil {
 			fatal("partial %s: %v", *in, err)
 		}
 		return
 	}
+
+	var rep *analysis.Report
+	runStart := time.Now()
 	if *in != "" && *stream {
 		cfg := analysis.CheckpointConfig{Path: *checkpoint, Every: *ckptEvery, Resume: *resume}
-		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare}
-		err := runStreaming(*in, ctx, sopts, ingest, cfg)
+		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare, Workers: *workers,
+			FailStage: *failStage, Obs: reg}
+		rep, istats, err = runStreaming(*in, ctx, sopts, ingest, cfg)
 		switch {
 		case errors.Is(err, analysis.ErrCheckpointStop):
 			fmt.Fprintf(os.Stderr, "caranalyze: interrupted; state saved to %s (re-run with -resume to continue)\n", *checkpoint)
@@ -157,43 +195,47 @@ func main() {
 		case err != nil:
 			fatal("stream %s: %v", *in, err)
 		}
-		return
-	}
-	if *checkpoint != "" || *resume {
-		fatal("-checkpoint and -resume need -stream mode")
-	}
-	if *in != "" {
-		records, istats, err = readFile(*in, ingest)
-		if err != nil {
-			fatal("read %s: %v", *in, err)
-		}
-		fmt.Printf("loaded %d records from %s (%d quarantined)\n\n",
-			len(records), *in, istats.QuarantinedTotal())
+		fmt.Printf("streamed %d records from %s (%d quarantined, %d workers)\n\n",
+			rep.RawRecords, *in, istats.QuarantinedTotal(), max(1, *workers))
 	} else {
-		cfg := synth.DefaultConfig(*cars)
-		cfg.Seed = *seed
-		cfg.WorldSizeKm = *world
-		cfg.Period = period
-		w := synth.NewWorld(cfg)
-		var stats synth.Stats
-		records, stats, err = w.GenerateAll()
-		if err != nil {
-			fatal("generate: %v", err)
+		if *checkpoint != "" || *resume {
+			fatal("-checkpoint and -resume need -stream mode")
 		}
-		model = w.Load
-		ctx.Load = model
-		opts.BusyCells = model.VeryBusyCells()
-		istats.Read = int64(stats.Records)
-		fmt.Printf("generated %d records (%d cars, %d stations, %d cells)\n\n",
-			stats.Records, *cars, w.Net.NumStations(), w.Net.NumCells())
-	}
+		if *in != "" {
+			records, istats, err = readFile(*in, ingest)
+			if err != nil {
+				fatal("read %s: %v", *in, err)
+			}
+			fmt.Printf("loaded %d records from %s (%d quarantined)\n\n",
+				len(records), *in, istats.QuarantinedTotal())
+		} else {
+			cfg := synth.DefaultConfig(*cars)
+			cfg.Seed = *seed
+			cfg.WorldSizeKm = *world
+			cfg.Period = period
+			w := synth.NewWorld(cfg)
+			var stats synth.Stats
+			records, stats, err = w.GenerateAll()
+			if err != nil {
+				fatal("generate: %v", err)
+			}
+			model = w.Load
+			ctx.Load = model
+			opts.BusyCells = model.VeryBusyCells()
+			istats.Read = int64(stats.Records)
+			fmt.Printf("generated %d records (%d cars, %d stations, %d cells)\n\n",
+				stats.Records, *cars, w.Net.NumStations(), w.Net.NumCells())
+		}
 
-	opts.RareDays = rare
+		opts.RareDays = rare
 
-	rep, err := analysis.Run(records, ctx, opts)
-	if err != nil {
-		fatal("analyze: %v", err)
+		rep, err = analysis.Run(records, ctx, opts)
+		if err != nil {
+			fatal("analyze: %v", err)
+		}
 	}
+	emitRunTrace(trace, rep, time.Since(runStart))
+
 	sectionFailures := printReport(rep, ctx, records, model)
 
 	quality := analysis.NewDataQuality(istats, int64(rep.RawRecords-rep.CleanRecords), rep.Presence, period)
@@ -204,7 +246,8 @@ func main() {
 	printQuality(quality)
 
 	if *md != "" {
-		desc := fmt.Sprintf("%d records over %d days (seed %d)", len(records), *days, *seed)
+		t0 := time.Now()
+		desc := fmt.Sprintf("%d records over %d days (seed %d)", rep.RawRecords, *days, *seed)
 		doc := report.Render(rep, ctx, report.Options{
 			Title:            "cellcars reproduction report",
 			SceneDescription: desc,
@@ -214,13 +257,35 @@ func main() {
 		if err := os.WriteFile(*md, []byte(doc), 0o644); err != nil {
 			fatal("write %s: %v", *md, err)
 		}
+		trace.Emit("report", time.Since(t0), 0)
 		fmt.Printf("wrote Markdown report to %s\n", *md)
 	}
 }
 
-// atExit runs cleanup (quarantine flush) on both normal and fatal
-// exits.
-var atExit = func() {}
+// atExit is the registered cleanup hook (quarantine flush); nil when
+// nothing is registered. Both the normal exit path and fatal run it —
+// exactly once — via runAtExit.
+var atExit func() error
+
+// runAtExit runs and clears the cleanup hook, so a fatal raised from
+// the hook's own error path cannot re-enter it.
+func runAtExit() error {
+	fn := atExit
+	atExit = nil
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// emitRunTrace writes the analyze span plus one span per profiled
+// stage, converting the report's cost table into the JSONL trace.
+func emitRunTrace(t *obs.Trace, rep *analysis.Report, elapsed time.Duration) {
+	t.Emit("analyze", elapsed, int64(rep.RawRecords))
+	for _, p := range rep.Profile {
+		t.Emit("stage:"+p.Stage, time.Duration(p.TotalSeconds()*float64(time.Second)), p.Records)
+	}
+}
 
 // printReport prints every table and figure, each section isolated:
 // a section whose analysis stage failed — or whose own rendering
@@ -389,7 +454,32 @@ func printReport(r *analysis.Report, ctx analysis.Context, records []cdr.Record,
 		fmt.Println(analysis.FormatTable3(r.Carriers))
 	})
 
+	if len(r.Profile) > 0 {
+		sec("Pipeline profile", "", func() { printProfile(r) })
+	}
+
 	return failed
+}
+
+// printProfile renders the per-stage cost table of an observed run:
+// where the wall time went, stage by stage, summed across workers.
+func printProfile(r *analysis.Report) {
+	fmt.Println("== Pipeline profile ==")
+	fmt.Printf("%-10s %12s %8s %10s %10s %10s %12s\n",
+		"stage", "records", "batches", "add s", "merge s", "final s", "rec/s")
+	var add, merge, fin float64
+	for _, p := range r.Profile {
+		rate := "-"
+		if total := p.TotalSeconds(); total > 0 && p.Records > 0 {
+			rate = fmt.Sprintf("%.0f", float64(p.Records)/total)
+		}
+		fmt.Printf("%-10s %12d %8d %10.4f %10.4f %10.4f %12s\n",
+			p.Stage, p.Records, p.Batches, p.AddSeconds, p.MergeSeconds, p.FinalizeSeconds, rate)
+		add += p.AddSeconds
+		merge += p.MergeSeconds
+		fin += p.FinalizeSeconds
+	}
+	fmt.Printf("%-10s %12s %8s %10.4f %10.4f %10.4f\n\n", "total", "", "", add, merge, fin)
 }
 
 // printFigure1 renders the load-model saturation demonstration; it
@@ -465,29 +555,23 @@ func runPartial(path, out string, ctx analysis.Context, opts analysis.RunOptions
 	return nil
 }
 
-// runStreaming analyzes a CDR file in one bounded-memory pass. Since
-// the streaming adapter runs the same accumulators as the batch
-// engine, it prints every record-level section of the report:
-// presence, connected time, days, durations, handovers, fleet usage
-// and carriers. (The busy-cell sections additionally need a load
-// source, which a bare CDR file cannot provide.)
+// runStreaming analyzes a CDR file in one bounded-memory pass through
+// the parallel engine — records are sharded by car across opts.Workers
+// goroutines, so streaming and batch mode print the same report (the
+// busy-cell sections additionally need a load source, which a bare CDR
+// file cannot provide).
 //
 // With cfg.Path set the pass is durable: state is checkpointed every
 // cfg.Every records and on SIGTERM/SIGINT, and cfg.Resume restores a
 // previous checkpoint and skips past its watermark.
-func runStreaming(path string, ctx analysis.Context, opts analysis.RunOptions, ingest cdr.ResilientConfig, cfg analysis.CheckpointConfig) error {
+func runStreaming(path string, ctx analysis.Context, opts analysis.RunOptions, ingest cdr.ResilientConfig, cfg analysis.CheckpointConfig) (*analysis.Report, cdr.IngestStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, cdr.IngestStats{}, err
 	}
 	defer f.Close()
 	rr := cdr.NewResilientReader(openReader(path, f), ingest)
-	s := analysis.NewStreamingWithOptions(ctx, opts)
-	if cfg.Path == "" {
-		if err := s.AddAll(rr); err != nil {
-			return err
-		}
-	} else {
+	if cfg.Path != "" {
 		trig := make(chan struct{})
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
@@ -497,38 +581,42 @@ func runStreaming(path string, ctx analysis.Context, opts analysis.RunOptions, i
 			close(trig)
 		}()
 		cfg.Trigger = trig
-		if err := s.AddAllCheckpointed(rr, cfg); err != nil {
-			return err
+	}
+	eng := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: opts.Workers})
+	rep, err := eng.RunReaderCheckpointed(rr, cfg)
+	return rep, rr.Stats(), err
+}
+
+// progressCurrent returns the progress position source: the further
+// along of the resilient-ingest delivery counter (leads in file modes)
+// and the engine's raw-record counter (the only one advancing in
+// generate mode, where no resilient reader runs).
+func progressCurrent(reg *obs.Registry) func() int64 {
+	ingested := reg.Counter("cellcars_ingest_records_total")
+	accepted := reg.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "accepted"})
+	ghosts := reg.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "ghost"})
+	oop := reg.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "out_of_period"})
+	return func() int64 {
+		raw := accepted.Value() + ghosts.Value() + oop.Value()
+		if in := ingested.Value(); in > raw {
+			return in
 		}
+		return raw
 	}
-	rep := s.Finalize()
+}
 
-	fmt.Printf("streamed %d records (%d one-hour ghosts dropped, %d outside the study period)\n\n",
-		rep.Records, rep.GhostsDropped, rep.OutOfPeriod)
-	fmt.Printf("== Figure 2 / Table 1: daily presence ==\n")
-	fmt.Printf("population: %d cars, %d cells touched\n", rep.Presence.TotalCars, rep.Presence.TotalCells)
-	fmt.Println(analysis.FormatTable1(rep.WeekdayRows))
-	fmt.Printf("== Figure 3: connected time ==\nmeans: full %.2f%%, truncated %.2f%%\n\n",
-		rep.Connected.FullMean*100, rep.Connected.TruncMean*100)
-	fmt.Printf("== Figure 6: days on network ==\n")
-	fmt.Println(textplot.Histogram("cars per day-count", rep.DaysCount, 72, 8))
-	fmt.Printf("== Figure 9: per-cell durations ==\nmedian ~%.0f s, p73 ~%.0f s, mean full %.0f s / trunc %.0f s\n\n",
-		rep.DurMedian, rep.DurP73, rep.DurFullMean, rep.DurTruncMean)
-	fmt.Printf("== §4.5: handovers per mobility session ==\n")
-	fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n\n",
-		rep.Handovers.Sessions, rep.Handovers.Median, rep.Handovers.P70, rep.Handovers.P90,
-		rep.Handovers.InterBSShare()*100)
-	fmt.Printf("== Fleet usage (24×7, %d aggregate sessions) ==\n", rep.UsageSessions)
-	fmt.Println(textplot.Matrix("fleet usage", &rep.FleetUsage))
-	fmt.Printf("== Table 3: carrier use ==\n")
-	fmt.Println(analysis.FormatTable3(rep.Carriers))
-	for _, se := range rep.StageErrors {
-		fmt.Printf("!! stage %s failed: %s\n", se.Stage, se.Err)
+// totalRecordsHint estimates the input's record count for progress ETA:
+// exact for binary CDR files (fixed-size records), 0 — no ETA — for
+// CSV, generated scenes, and unreadable paths.
+func totalRecordsHint(path string) int64 {
+	if path == "" || strings.HasSuffix(path, ".csv") {
+		return 0
 	}
-
-	quality := analysis.NewDataQuality(rr.Stats(), rep.GhostsDropped, rep.Presence, ctx.Period)
-	printQuality(quality)
-	return nil
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return cdr.BinaryRecordCount(fi.Size())
 }
 
 // openReader picks the codec by file extension.
@@ -621,6 +709,10 @@ func max(a, b int) int {
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "caranalyze: "+format+"\n", args...)
-	atExit()
+	if err := runAtExit(); err != nil {
+		// The hook is already cleared, so reporting its failure here
+		// cannot recurse; the exit code is 1 either way.
+		fmt.Fprintf(os.Stderr, "caranalyze: cleanup: %v\n", err)
+	}
 	os.Exit(1)
 }

@@ -19,21 +19,32 @@ import (
 	"time"
 
 	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
 	"cellcars/internal/simtime"
 	"cellcars/internal/synth"
 )
 
 func main() {
 	var (
-		cars   = flag.Int("cars", 2000, "fleet size")
-		days   = flag.Int("days", 28, "study length in days")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		world  = flag.Float64("world", 60, "world side length in km")
-		out    = flag.String("out", "cars.cdr", "output file")
-		format = flag.String("format", "", "output format: binary or csv (default: by extension, .csv = csv)")
-		start  = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
+		cars      = flag.Int("cars", 2000, "fleet size")
+		days      = flag.Int("days", 28, "study length in days")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		world     = flag.Float64("world", 60, "world side length in km")
+		out       = flag.String("out", "cars.cdr", "output file")
+		format    = flag.String("format", "", "output format: binary or csv (default: by extension, .csv = csv)")
+		start     = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while generating")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.New())
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cargen: debug server on http://%s\n", srv.Addr())
+	}
 
 	startDay, err := time.Parse("2006-01-02", *start)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cellcars/internal/analysis"
+	"cellcars/internal/obs"
 	"cellcars/internal/radio"
 	"cellcars/internal/report"
 	"cellcars/internal/textplot"
@@ -35,11 +36,20 @@ func main() {
 		md           = flag.String("md", "", "also write a Markdown report to this file")
 		allowOverlap = flag.Bool("allow-overlap", false, "merge partials whose car sets overlap (double-counts shared cars)")
 		quiet        = flag.Bool("q", false, "suppress per-input progress lines")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while merging")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: carmerge [-o merged.snap] [-md report.md] [-allow-overlap] shard.snap...")
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.New())
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "carmerge: debug server on http://%s\n", srv.Addr())
 	}
 	if *out != "" && !*force {
 		if _, err := os.Stat(*out); err == nil {

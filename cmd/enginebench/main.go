@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,23 +34,37 @@ import (
 	"cellcars/internal/analysis"
 	"cellcars/internal/cdr"
 	"cellcars/internal/clean"
+	"cellcars/internal/obs"
 	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
 )
 
 func main() {
 	var (
-		n         = flag.Int("records", 1_000_000, "workload size in records")
-		reps      = flag.Int("reps", 3, "timed runs per worker count (best is kept)")
-		workers   = flag.String("workers", "1,4,8", "comma-separated worker counts (first must be 1 for the speedup baseline)")
-		ckptEvery = flag.Int64("ckpt-every", 100_000, "checkpoint interval for the overhead measurement (0 skips it)")
-		out       = flag.String("out", "BENCH_engine.json", "output JSON file")
+		n          = flag.Int("records", 1_000_000, "workload size in records")
+		reps       = flag.Int("reps", 3, "timed runs per worker count (best is kept)")
+		workers    = flag.String("workers", "1,4,8", "comma-separated worker counts (first must be 1 for the speedup baseline)")
+		ckptEvery  = flag.Int64("ckpt-every", 100_000, "checkpoint interval for the overhead measurement (0 skips it)")
+		out        = flag.String("out", "BENCH_engine.json", "output JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
 	flag.Parse()
 
 	counts, err := parseWorkers(*workers)
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("create %s: %v", *cpuprofile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	fmt.Printf("generating %d records...\n", *n)
@@ -110,6 +125,30 @@ func main() {
 			cr.Every, cr.Workers, cr.SecondsOff, cr.SecondsOn, cr.OverheadPct, cr.Checkpoints)
 	}
 
+	lastW := counts[len(counts)-1]
+	obsOff := res.Runs[len(res.Runs)-1].Seconds
+	or, err := benchObs(records, ctx, opts, lastW, *reps, obsOff, baseline)
+	if err != nil {
+		fatal("obs bench: %v", err)
+	}
+	res.Obs = or
+	fmt.Printf("observability (workers=%d): %.2fs off vs %.2fs on, overhead %.1f%%\n",
+		lastW, or.SecondsOff, or.SecondsOn, or.OverheadPct)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal("create %s: %v", *memprofile, err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("write heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("close %s: %v", *memprofile, err)
+		}
+	}
+
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal("marshal: %v", err)
@@ -129,6 +168,7 @@ type result struct {
 	NumCPU     int            `json:"numcpu"`
 	Runs       []workerRun    `json:"runs"`
 	Checkpoint *checkpointRun `json:"checkpoint,omitempty"`
+	Obs        *obsRun        `json:"obs,omitempty"`
 }
 
 type workerRun struct {
@@ -150,6 +190,75 @@ type checkpointRun struct {
 	RecordsPerSecOff float64 `json:"records_per_sec_off"`
 	RecordsPerSecOn  float64 `json:"records_per_sec_on"`
 	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+// obsRun records the cost of the observability layer: the same engine
+// run with no registry (seconds_off, reusing the plain run's best at
+// the same worker count) versus a fresh registry per rep (seconds_on),
+// plus the per-stage cost table of the instrumented run.
+type obsRun struct {
+	Workers     int           `json:"workers"`
+	SecondsOff  float64       `json:"seconds_off"`
+	SecondsOn   float64       `json:"seconds_on"`
+	OverheadPct float64       `json:"overhead_pct"`
+	Stages      []stageTiming `json:"stages"`
+}
+
+type stageTiming struct {
+	Stage           string  `json:"stage"`
+	Records         int64   `json:"records"`
+	Batches         int64   `json:"batches"`
+	AddSeconds      float64 `json:"add_seconds"`
+	MergeSeconds    float64 `json:"merge_seconds"`
+	FinalizeSeconds float64 `json:"finalize_seconds"`
+}
+
+// benchObs measures instrumentation overhead: best-of-reps wall time
+// of the engine with a metrics registry attached, against the plain
+// run's best at the same worker count. Each rep gets a fresh registry
+// (counters are cumulative), and the report — with its deliberately
+// non-deterministic Profile cleared — must stay bit-identical to the
+// uninstrumented baseline.
+func benchObs(records []cdr.Record, ctx analysis.Context, opts analysis.RunOptions,
+	workers, reps int, secondsOff float64, baseline *analysis.Report) (*obsRun, error) {
+	best := 0.0
+	var profile []analysis.StageProfile
+	for r := 0; r < reps; r++ {
+		iopts := opts
+		iopts.Obs = obs.New()
+		e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: iopts, Workers: workers})
+		t0 := time.Now()
+		rep, err := e.Run(records)
+		sec := time.Since(t0).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		prof := rep.Profile
+		rep.Profile = nil
+		if !reflect.DeepEqual(baseline, rep) {
+			return nil, fmt.Errorf("instrumented report differs from baseline — observability must not change results")
+		}
+		if best == 0 || sec < best {
+			best, profile = sec, prof
+		}
+	}
+	or := &obsRun{
+		Workers:     workers,
+		SecondsOff:  round3(secondsOff),
+		SecondsOn:   round3(best),
+		OverheadPct: round3((best - secondsOff) / secondsOff * 100),
+	}
+	for _, p := range profile {
+		or.Stages = append(or.Stages, stageTiming{
+			Stage:           p.Stage,
+			Records:         p.Records,
+			Batches:         p.Batches,
+			AddSeconds:      round3(p.AddSeconds),
+			MergeSeconds:    round3(p.MergeSeconds),
+			FinalizeSeconds: round3(p.FinalizeSeconds),
+		})
+	}
+	return or, nil
 }
 
 // benchCheckpoint measures checkpointing overhead: best-of-reps wall

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
 	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
 	"cellcars/internal/snapshot"
@@ -288,8 +289,11 @@ func writeSnapshotStream(w io.Writer, hdr SnapshotHeader, sets []*accumSet) erro
 
 // writeSnapshotFile writes a snapshot atomically: the bytes land in
 // path+".tmp", are fsynced, and replace path with a rename, so a crash
-// mid-checkpoint leaves the previous checkpoint intact.
-func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet) (err error) {
+// mid-checkpoint leaves the previous checkpoint intact. A non-nil
+// registry records the write count, byte size and wall duration under
+// the checkpoint metrics (cellcars_checkpoint_writes_total and kin).
+func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet, reg *obs.Registry) (err error) {
+	t0 := time.Now()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -300,7 +304,8 @@ func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet) (err e
 			os.Remove(tmp)
 		}
 	}()
-	if err = writeSnapshotStream(f, hdr, sets); err != nil {
+	cw := &countingWriter{w: f}
+	if err = writeSnapshotStream(cw, hdr, sets); err != nil {
 		f.Close()
 		return err
 	}
@@ -311,7 +316,28 @@ func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet) (err e
 	if err = f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if reg != nil {
+		reg.Counter("cellcars_checkpoint_writes_total").Inc()
+		reg.Counter("cellcars_checkpoint_bytes_total").Add(cw.n)
+		reg.Timing("cellcars_checkpoint_write_seconds").Observe(time.Since(t0))
+	}
+	return nil
+}
+
+// countingWriter counts bytes on their way to the underlying writer,
+// for the checkpoint size metric.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // ---------------------------------------------------------------------------
@@ -359,6 +385,7 @@ func readSnapshotSets(r io.Reader, config func(SnapshotHeader) (Context, EngineO
 				return badSnapf("worker %d missing stage %s", len(sets)-1, name)
 			}
 		}
+		cur.met.creditRestored(cur, restored)
 		return nil
 	}
 	for {
@@ -409,6 +436,10 @@ func readSnapshotSets(r io.Reader, config func(SnapshotHeader) (Context, EngineO
 				return hdr, nil, badSnapf("worker %d counters inconsistent (raw=%d ghosts=%d oop=%d accepted=%d)",
 					idx, cur.raw, cur.ghosts, cur.outOfPeriod, cur.accepted)
 			}
+			// A resumed observed run keeps instrumenting; the restored
+			// counts are credited into the shared series once the
+			// worker's stage frames are in (see finishWorker).
+			cur.met = newSetMetrics(opts.Obs, idx)
 			sets = append(sets, cur)
 			restored = map[string]bool{}
 		case strings.HasPrefix(name, "stage:"):
@@ -570,7 +601,7 @@ func (p *Partial) SnapshotTo(w io.Writer) error {
 
 // WriteSnapshot writes the partial to a file atomically.
 func (p *Partial) WriteSnapshot(path string) error {
-	return writeSnapshotFile(path, p.Header, []*accumSet{p.set})
+	return writeSnapshotFile(path, p.Header, []*accumSet{p.set}, p.opts.Obs)
 }
 
 // ---------------------------------------------------------------------------
@@ -592,7 +623,7 @@ func (s *Streaming) SnapshotTo(w io.Writer) error {
 
 // WriteSnapshot writes the state to a file atomically.
 func (s *Streaming) WriteSnapshot(path string) error {
-	return writeSnapshotFile(path, s.header(), []*accumSet{s.set})
+	return writeSnapshotFile(path, s.header(), []*accumSet{s.set}, s.opts.Obs)
 }
 
 // ResumeStreaming restores a streaming accumulator from a snapshot
@@ -741,7 +772,7 @@ func (e *Engine) RunReaderCheckpointed(r cdr.Reader, cfg CheckpointConfig) (*Rep
 	if sets == nil {
 		sets = make([]*accumSet, n)
 		for i := range sets {
-			sets[i] = newAccumSet(e.ctx, e.opts)
+			sets[i] = newAccumSet(e.ctx, e.opts, i)
 		}
 	}
 
@@ -788,7 +819,7 @@ func (e *Engine) RunReaderCheckpointed(r cdr.Reader, cfg CheckpointConfig) (*Rep
 		}
 		// Workers are parked on their channels; the sets are quiescent
 		// until the next dispatch, so writing them here is race-free.
-		return writeSnapshotFile(cfg.Path, e.checkpointHeader(read), sets)
+		return writeSnapshotFile(cfg.Path, e.checkpointHeader(read), sets, e.opts.Obs)
 	}
 
 	for {

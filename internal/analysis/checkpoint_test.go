@@ -44,7 +44,7 @@ func TestAccumulatorSnapshotRoundTrip(t *testing.T) {
 	for i, name := range engineStageOrder {
 		i, name := i, name
 		t.Run(name, func(t *testing.T) {
-			a := newAccumSet(ctx, opts).stages[i]
+			a := newAccumSet(ctx, opts, 0).stages[i]
 			if a == nil {
 				t.Fatalf("stage %s not enabled by test context", name)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"cellcars/internal/cdr"
 	"cellcars/internal/clean"
@@ -61,7 +62,7 @@ func (e *Engine) Run(records []cdr.Record) (*Report, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
-		sets[i] = newAccumSet(e.ctx, e.opts)
+		sets[i] = newAccumSet(e.ctx, e.opts, i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -82,7 +83,7 @@ func (e *Engine) RunReader(r cdr.Reader) (*Report, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
-		sets[i] = newAccumSet(e.ctx, e.opts)
+		sets[i] = newAccumSet(e.ctx, e.opts, i)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -135,6 +136,11 @@ type accumSet struct {
 	errs   []StageError
 
 	batch []cdr.Record
+
+	// met is the observability hook (nil when no registry was
+	// configured): per-stage wall time and record counts, ingest
+	// outcome counters, shard balance.
+	met *setMetrics
 }
 
 // accumBatchSize bounds how many records one isolated stage Add call
@@ -143,12 +149,14 @@ const accumBatchSize = 1024
 
 // newAccumSet builds the accumulators a context supports. Load-less
 // contexts skip the load-dependent stages, mirroring Run; FailStage
-// marks its stage failed up front.
-func newAccumSet(ctx Context, opts EngineOptions) *accumSet {
+// marks its stage failed up front. worker indexes the set for the
+// shard-balance metric when opts.Obs is configured.
+func newAccumSet(ctx Context, opts EngineOptions, worker int) *accumSet {
 	s := &accumSet{
 		period: ctx.Period,
 		stages: make([]Accumulator, len(engineStageOrder)),
 		batch:  make([]cdr.Record, 0, accumBatchSize),
+		met:    newSetMetrics(opts.Obs, worker),
 	}
 	for i, name := range engineStageOrder {
 		var acc Accumulator
@@ -194,6 +202,12 @@ func newAccumSet(ctx Context, opts EngineOptions) *accumSet {
 // filters, and flushes full batches into the stages.
 func (s *accumSet) add(r cdr.Record) {
 	s.raw++
+	// Metrics sync happens at flush; this extra beat covers streams
+	// dominated by filtered records, which never fill a batch, so the
+	// live counters still advance.
+	if s.met != nil && s.raw&1023 == 0 {
+		s.met.sync(s)
+	}
 	if r.Duration == clean.GhostDuration {
 		s.ghosts++
 		return
@@ -232,20 +246,38 @@ func (s *accumSet) addReader(r cdr.Reader) error {
 
 // flush feeds the buffered batch to every live stage, isolating each:
 // a stage that panics is dropped and recorded, the rest continue.
+// With metrics on, each stage's batch cost lands in its add timing —
+// two clock reads per (stage, batch), amortized over accumBatchSize
+// records.
 func (s *accumSet) flush() {
 	if len(s.batch) == 0 {
+		if s.met != nil {
+			s.met.sync(s)
+		}
 		return
 	}
 	for i, acc := range s.stages {
 		if acc == nil {
 			continue
 		}
-		if err := s.feedStage(acc, s.batch); err != nil {
+		var t0 time.Time
+		if s.met != nil {
+			t0 = time.Now()
+		}
+		err := s.feedStage(acc, s.batch)
+		if s.met != nil {
+			s.met.stageAdd[i].Observe(time.Since(t0))
+			s.met.stageRecs[i].Add(int64(len(s.batch)))
+		}
+		if err != nil {
 			s.stages[i] = nil
 			s.errs = append(s.errs, StageError{Stage: acc.Stage(), Err: err.Error()})
 		}
 	}
 	s.batch = s.batch[:0]
+	if s.met != nil {
+		s.met.sync(s)
+	}
 }
 
 // feedStage adds one batch to one accumulator, converting a panic into
@@ -265,6 +297,11 @@ func (s *accumSet) feedStage(acc Accumulator, batch []cdr.Record) (err error) {
 // merge folds another worker's partials into s. A stage failed in
 // either worker is failed in the result (first error wins).
 func (s *accumSet) merge(o *accumSet) {
+	// Both sides flush: o so its partial state is complete, s so its
+	// unsynced tail reaches the metrics before rebase below swallows
+	// the delta (the checkpointed dispatcher path does not flush worker
+	// sets at end of stream).
+	s.flush()
 	o.flush()
 	s.raw += o.raw
 	s.ghosts += o.ghosts
@@ -283,8 +320,20 @@ func (s *accumSet) merge(o *accumSet) {
 			// Stage disabled by context in both workers (or failed,
 			// handled above).
 		default:
+			var t0 time.Time
+			if s.met != nil {
+				t0 = time.Now()
+			}
 			s.stages[i].Merge(o.stages[i])
+			if s.met != nil {
+				s.met.stageMerge[i].Observe(time.Since(t0))
+			}
 		}
+	}
+	// o's records were already counted by its own metrics; realign the
+	// watermarks so the folded-in values are not re-emitted.
+	if s.met != nil {
+		s.met.rebase(s)
 	}
 }
 
@@ -311,9 +360,20 @@ func (s *accumSet) finalize() *Report {
 		if acc == nil {
 			continue
 		}
-		if err := finalizeStage(acc, rep); err != nil {
+		var t0 time.Time
+		if s.met != nil {
+			t0 = time.Now()
+		}
+		err := finalizeStage(acc, rep)
+		if s.met != nil {
+			s.met.stageFinalize[i].Observe(time.Since(t0))
+		}
+		if err != nil {
 			rep.StageErrors = append(rep.StageErrors, StageError{Stage: engineStageOrder[i], Err: err.Error()})
 		}
+	}
+	if s.met != nil {
+		rep.Profile = s.met.profile(s)
 	}
 	return rep
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
 	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
 	"cellcars/internal/stats"
@@ -47,6 +48,37 @@ type Report struct {
 	// StageErrors lists the analysis stages that failed (error or
 	// panic) and were skipped; the rest of the report is still valid.
 	StageErrors []StageError
+
+	// Profile is the per-stage cost table — wall time and record
+	// counts for every stage's Add/Merge/Finalize, aggregated over all
+	// workers, in engine stage order. Populated only when the run was
+	// observed (RunOptions.Obs non-nil); timings make it
+	// non-deterministic, so bit-identity checks must ignore it.
+	Profile []StageProfile
+}
+
+// StageProfile is one row of the pipeline cost table (the "Pipeline
+// profile" report section, in the spirit of the paper's Table 1
+// accounting): where a run spent its time, stage by stage.
+type StageProfile struct {
+	// Stage is the stable stage name.
+	Stage string
+	// Records counts records offered to the stage's Add path; on a
+	// clean run this equals the engine's accepted-record count for
+	// every live stage.
+	Records int64
+	// Batches counts timed Add batches.
+	Batches int64
+	// AddSeconds, MergeSeconds and FinalizeSeconds are the wall time
+	// spent in the stage's three accumulator operations, summed across
+	// workers (concurrent stage work can sum past the run's elapsed
+	// wall time).
+	AddSeconds, MergeSeconds, FinalizeSeconds float64
+}
+
+// TotalSeconds returns the stage's summed wall cost.
+func (p StageProfile) TotalSeconds() float64 {
+	return p.AddSeconds + p.MergeSeconds + p.FinalizeSeconds
 }
 
 // StageError records one skipped analysis stage.
@@ -87,6 +119,11 @@ type RunOptions struct {
 	// Workers is the parallel shard count; values below 1 mean 1. The
 	// report is identical for any worker count on the exact stages.
 	Workers int
+	// Obs, when non-nil, receives pipeline metrics — per-stage wall
+	// time and record counts, ingest outcome counters, shard balance,
+	// checkpoint costs — and enables Report.Profile. Nil turns the
+	// observability layer off at zero cost.
+	Obs *obs.Registry
 }
 
 // Run executes the complete measurement pipeline over a raw record

@@ -189,7 +189,7 @@ func (panicAcc) RestoreFrom(io.Reader) error { return nil }
 // diagnostic instead of killing the run: the engine drops the stage,
 // records the panic, and the other stages keep absorbing records.
 func TestRunStageRecoversPanic(t *testing.T) {
-	s := newAccumSet(Context{Period: simtime.NewPeriod(t0, 7)}, EngineOptions{})
+	s := newAccumSet(Context{Period: simtime.NewPeriod(t0, 7)}, EngineOptions{}, 0)
 	s.stages[0] = panicAcc{}
 	s.add(rec(1, cell(1), time.Hour, time.Minute))
 	s.flush()

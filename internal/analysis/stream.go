@@ -54,7 +54,7 @@ func NewStreamingWithOptions(ctx Context, opts RunOptions) *Streaming {
 		opts.Seed = 1
 	}
 	eo := EngineOptions{RunOptions: opts, Workers: 1}
-	return &Streaming{ctx: ctx, opts: eo, set: newAccumSet(ctx, eo)}
+	return &Streaming{ctx: ctx, opts: eo, set: newAccumSet(ctx, eo, 0)}
 }
 
 // Add accumulates one raw record; exactly-one-hour ghosts are dropped
@@ -107,6 +107,10 @@ type StreamReport struct {
 
 	// StageErrors lists stages that failed and were skipped.
 	StageErrors []StageError
+
+	// Profile mirrors Report.Profile: the per-stage cost table, present
+	// only when the run was observed (RunOptions.Obs).
+	Profile []StageProfile
 }
 
 // Finalize computes the report. The accumulator remains usable (more
@@ -131,6 +135,7 @@ func (s *Streaming) Finalize() StreamReport {
 		DurFullMean:   rep.Durations.FullMean,
 		DurTruncMean:  rep.Durations.TruncMean,
 		StageErrors:   rep.StageErrors,
+		Profile:       rep.Profile,
 	}
 	if rep.DaysHist != nil {
 		out.DaysCount = append([]int64(nil), rep.DaysHist.Counts...)

@@ -170,6 +170,16 @@ var binMagic = [8]byte{'C', 'C', 'A', 'R', 'C', 'D', 'R', '1'}
 
 const binRecordSize = 8 + 8 + 8 + 4
 
+// BinaryRecordCount returns the number of records a well-formed binary
+// CDR file of the given size holds — a cheap total for progress
+// estimation. Returns 0 for sizes smaller than the magic header.
+func BinaryRecordCount(fileSize int64) int64 {
+	if fileSize <= int64(len(binMagic)) {
+		return 0
+	}
+	return (fileSize - int64(len(binMagic))) / binRecordSize
+}
+
 // BinaryWriter streams records in the binary CDR format.
 type BinaryWriter struct {
 	w      *bufio.Writer

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"cellcars/internal/obs"
 )
 
 // ExternalSortConfig controls disk-backed sorting of CDR streams too
@@ -25,6 +27,9 @@ type ExternalSortConfig struct {
 	// RetryBackoff is the initial delay between retries, doubling per
 	// attempt. Default 5ms.
 	RetryBackoff time.Duration
+	// Obs, when non-nil, receives spill metrics: spill file and record
+	// counts, spill wall time, and transient retries.
+	Obs *obs.Registry
 }
 
 func (cfg *ExternalSortConfig) fill() {
@@ -142,6 +147,9 @@ func readRetry(r Reader, cfg ExternalSortConfig) (Record, error) {
 		if err == nil || !IsTransient(err) || attempt >= cfg.RetryAttempts {
 			return rec, err
 		}
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("cellcars_extsort_retries_total").Inc()
+		}
 		sleepFn(cfg.RetryBackoff << attempt)
 	}
 }
@@ -152,10 +160,19 @@ func readRetry(r Reader, cfg ExternalSortConfig) (Record, error) {
 func spillRetry(chunk []Record, cfg ExternalSortConfig, index int) (string, error) {
 	var path string
 	var err error
+	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
 		path, err = spillChunk(chunk, cfg.TempDir, index)
 		if err == nil || !IsTransient(err) || attempt >= cfg.RetryAttempts {
+			if err == nil && cfg.Obs != nil {
+				cfg.Obs.Counter("cellcars_extsort_spills_total").Inc()
+				cfg.Obs.Counter("cellcars_extsort_spill_records_total").Add(int64(len(chunk)))
+				cfg.Obs.Timing("cellcars_extsort_spill_seconds").Observe(time.Since(t0))
+			}
 			return path, err
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("cellcars_extsort_retries_total").Inc()
 		}
 		sleepFn(cfg.RetryBackoff << attempt)
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"cellcars/internal/obs"
 )
 
 // This file implements the resilient ingest layer: a Reader wrapper
@@ -226,6 +228,10 @@ type ResilientConfig struct {
 	// doubling per attempt. Default 5ms; it exists so tests can run
 	// retries without wall-clock cost.
 	RetryBackoff time.Duration
+	// Obs, when non-nil, receives live ingest metrics: delivered and
+	// per-class quarantined record counts, transient retries, and the
+	// error-budget consumption gauge. Nil (the default) costs nothing.
+	Obs *obs.Registry
 }
 
 func (cfg *ResilientConfig) fill() {
@@ -263,12 +269,39 @@ type ResilientReader struct {
 	prev  Record
 	have  bool
 	done  error // sticky terminal state: io.EOF or a fatal error
+
+	met *ingestMetrics
+}
+
+// ingestMetrics holds the pre-resolved ingest series so the Read hot
+// path never touches the registry maps. All handles are nil-safe.
+type ingestMetrics struct {
+	read        *obs.Counter
+	quarantined [NumFailureClasses]*obs.Counter
+	retries     *obs.Counter
+	budgetUsed  *obs.Gauge
+}
+
+func newIngestMetrics(reg *obs.Registry) *ingestMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &ingestMetrics{
+		read:       reg.Counter("cellcars_ingest_records_total"),
+		retries:    reg.Counter("cellcars_ingest_retries_total"),
+		budgetUsed: reg.Gauge("cellcars_ingest_budget_used_ratio"),
+	}
+	for c := FailureClass(0); c < NumFailureClasses; c++ {
+		m.quarantined[c] = reg.Counter("cellcars_ingest_quarantined_total",
+			obs.Label{Key: "class", Value: c.String()})
+	}
+	return m
 }
 
 // NewResilientReader wraps r with the given config.
 func NewResilientReader(r Reader, cfg ResilientConfig) *ResilientReader {
 	cfg.fill()
-	return &ResilientReader{r: r, cfg: cfg}
+	return &ResilientReader{r: r, cfg: cfg, met: newIngestMetrics(cfg.Obs)}
 }
 
 // Stats returns a snapshot of the ingest counters. Valid at any
@@ -308,11 +341,13 @@ func (r *ResilientReader) Read() (Record, error) {
 				continue
 			case IsTransient(err) && retries < r.cfg.TransientRetries:
 				r.stat.Retries++
+				r.met.Retries()
 				sleepFn(r.cfg.RetryBackoff << retries)
 				retries++
 				continue
 			default:
 				r.stat.Quarantined[ClassIO]++
+				r.met.Quarantined(r, ClassIO)
 				return r.finish(err)
 			}
 		}
@@ -354,6 +389,7 @@ func (r *ResilientReader) Read() (Record, error) {
 
 		r.prev, r.have = rec, true
 		r.stat.Read++
+		r.met.Read()
 		return rec, nil
 	}
 }
@@ -368,6 +404,7 @@ func (r *ResilientReader) finish(err error) (Record, error) {
 // the error budget. A non-nil return is terminal.
 func (r *ResilientReader) quarantine(class FailureClass, cause error, rec Record) error {
 	r.stat.Quarantined[class]++
+	r.met.Quarantined(r, class)
 	if r.cfg.Sink != nil {
 		q := Quarantined{Index: r.index - 1, Class: class, Err: cause, Record: rec}
 		if err := r.cfg.Sink.Quarantine(q); err != nil {
@@ -388,6 +425,37 @@ func (r *ResilientReader) quarantine(class FailureClass, cause error, rec Record
 		return &BudgetError{Stats: r.stat, Budget: r.cfg.MaxBadFrac}
 	}
 	return nil
+}
+
+// Read records one delivered record.
+func (m *ingestMetrics) Read() {
+	if m == nil {
+		return
+	}
+	m.read.Inc()
+}
+
+// Retries records one transient-retry attempt.
+func (m *ingestMetrics) Retries() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+// Quarantined records one reject and refreshes the budget-used gauge
+// (quarantined fraction of attempted records, relative to the budget).
+func (m *ingestMetrics) Quarantined(r *ResilientReader, class FailureClass) {
+	if m == nil {
+		return
+	}
+	m.quarantined[class].Inc()
+	if budget := r.cfg.MaxBadFrac; budget > 0 {
+		if attempted := r.stat.Attempted(); attempted > 0 {
+			frac := float64(r.stat.QuarantinedTotal()) / float64(attempted)
+			m.budgetUsed.Set(frac / budget)
+		}
+	}
 }
 
 // sameRecord compares records field-wise, using time.Time.Equal so

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg holds the registry published under the process-global
+// expvar name "cellcars_obs_metrics". expvar.Publish panics on duplicate
+// names, so the Func is registered once and indirects through this
+// pointer — the last-served registry wins, which matches the one
+// registry per process that the CLIs create.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// PublishExpvar exposes the registry's snapshot as the expvar variable
+// "cellcars_obs_metrics" (visible on /debug/vars). Repeat calls re-point
+// the variable at the new registry.
+func PublishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("cellcars_obs_metrics", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the debug mux: a Prometheus-text /metrics endpoint
+// over the registry, expvar under /debug/vars, and the full
+// net/http/pprof suite under /debug/pprof/.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "cellcars debug server\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug server on addr (e.g. ":6060" or
+// "127.0.0.1:0") and returns once the listener is bound; requests are
+// served on a background goroutine. It also publishes the registry via
+// expvar.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	PublishExpvar(reg)
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listener address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

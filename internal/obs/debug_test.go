@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	reg := New()
+	reg.Counter("cellcars_ingest_records_total").Add(7)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE cellcars_ingest_records_total counter") ||
+		!strings.Contains(body, "cellcars_ingest_records_total 7") {
+		t.Fatalf("/metrics body missing the counter:\n%s", body)
+	}
+
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	resp, body = get("/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `"cellcars_obs_metrics"`) {
+		t.Fatalf("/debug/vars missing cellcars_obs_metrics:\n%s", body)
+	}
+
+	resp, body = get("/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = get("/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/nope status %d, want 404", resp.StatusCode)
+	}
+}

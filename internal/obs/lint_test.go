@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// metricToken matches anything in the source tree that looks like a
+// metric name. The convention (enforced by ValidName) is
+// cellcars_<area>_<name>: at least two lowercase groups after the
+// prefix, no empty groups, no trailing underscore.
+var metricToken = regexp.MustCompile(`cellcars_[a-z0-9_]+`)
+
+// TestMetricNameConvention walks every non-test Go file in the
+// repository and requires each cellcars_* token to satisfy ValidName.
+// This is the vet-style half of the convention check: a metric added
+// anywhere in the tree with a malformed name fails here, not on a
+// dashboard weeks later.
+func TestMetricNameConvention(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+
+	checked := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, tok := range metricToken.FindAllString(string(src), -1) {
+			checked++
+			if !ValidName(tok) {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s: metric name %q violates cellcars_<area>_<name>", rel, tok)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no cellcars_* tokens found in the tree; the scan is broken")
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress prints periodic throughput lines for a long run:
+//
+//	progress: 420000/1000000 records (42.0%) | 812345 rec/s | ETA 1s
+//
+// The current count comes from a caller-supplied function — typically
+// a closure over registry counters, so the reporter observes the
+// pipeline without the pipeline knowing about it. With an unknown
+// total (pass 0) the percentage and ETA are omitted. Start launches
+// the ticker goroutine; Stop (idempotent) halts it and prints a final
+// line.
+type Progress struct {
+	w        io.Writer
+	unit     string
+	interval time.Duration
+	total    int64
+	current  func() int64
+
+	start time.Time
+	lastN int64
+	lastT time.Time
+
+	once sync.Once
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProgress builds a reporter. unit names the counted thing
+// ("records"); interval is the line period (values below 100ms are
+// clamped to 100ms); total may be 0 when unknown; current returns the
+// cumulative count so far and must be safe to call from another
+// goroutine.
+func NewProgress(w io.Writer, unit string, interval time.Duration, total int64, current func() int64) *Progress {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	now := time.Now()
+	return &Progress{
+		w: w, unit: unit, interval: interval, total: total, current: current,
+		start: now, lastT: now,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the reporting goroutine.
+func (p *Progress) Start() {
+	go func() {
+		defer close(p.done)
+		tick := time.NewTicker(p.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case now := <-tick.C:
+				p.Report(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and prints a final line. Safe to call more
+// than once.
+func (p *Progress) Stop() {
+	p.once.Do(func() {
+		close(p.stop)
+		<-p.done
+		p.Report(time.Now())
+	})
+}
+
+// Report prints one progress line for the given instant. Exposed so
+// tests (and synchronous callers) can drive the reporter without the
+// ticker.
+func (p *Progress) Report(now time.Time) {
+	n := p.current()
+	var rate float64
+	if dt := now.Sub(p.lastT).Seconds(); dt > 0 {
+		rate = float64(n-p.lastN) / dt
+	}
+	p.lastN, p.lastT = n, now
+
+	var b []byte
+	if p.total > 0 {
+		b = fmt.Appendf(b, "progress: %d/%d %s (%.1f%%) | %.0f %s/s",
+			n, p.total, p.unit, float64(n)/float64(p.total)*100, rate, shortUnit(p.unit))
+		if rate > 0 && n < p.total {
+			eta := time.Duration(float64(p.total-n) / rate * float64(time.Second))
+			b = fmt.Appendf(b, " | ETA %s", eta.Round(time.Second))
+		}
+	} else {
+		b = fmt.Appendf(b, "progress: %d %s | %.0f %s/s", n, p.unit, rate, shortUnit(p.unit))
+	}
+	b = append(b, '\n')
+	p.w.Write(b)
+}
+
+// shortUnit abbreviates a plural unit for the rate ("records" →
+// "rec").
+func shortUnit(unit string) string {
+	if len(unit) > 3 {
+		return unit[:3]
+	}
+	return unit
+}

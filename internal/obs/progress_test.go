@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProgressReportWithTotal(t *testing.T) {
+	var n atomic.Int64
+	var b strings.Builder
+	p := NewProgress(&b, "records", time.Second, 1000, n.Load)
+
+	n.Store(420)
+	p.Report(time.Now().Add(time.Second))
+	line := b.String()
+	if !strings.HasPrefix(line, "progress: 420/1000 records (42.0%)") {
+		t.Fatalf("line = %q, want 420/1000 at 42.0%%", line)
+	}
+	if !strings.Contains(line, "rec/s") {
+		t.Fatalf("line %q missing a rate", line)
+	}
+	if !strings.Contains(line, "ETA") {
+		t.Fatalf("line %q missing an ETA", line)
+	}
+
+	// At completion the ETA disappears.
+	b.Reset()
+	n.Store(1000)
+	p.Report(time.Now().Add(2 * time.Second))
+	line = b.String()
+	if !strings.HasPrefix(line, "progress: 1000/1000 records (100.0%)") {
+		t.Fatalf("final line = %q", line)
+	}
+	if strings.Contains(line, "ETA") {
+		t.Fatalf("final line %q still shows an ETA", line)
+	}
+}
+
+func TestProgressReportUnknownTotal(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "records", time.Second, 0, func() int64 { return 7 })
+	p.Report(time.Now().Add(time.Second))
+	line := b.String()
+	if !strings.HasPrefix(line, "progress: 7 records") {
+		t.Fatalf("line = %q", line)
+	}
+	if strings.Contains(line, "%") || strings.Contains(line, "ETA") {
+		t.Fatalf("unknown-total line %q shows %% or ETA", line)
+	}
+}
+
+func TestProgressStopIdempotent(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "records", time.Hour, 0, func() int64 { return 1 })
+	p.Start()
+	p.Stop()
+	p.Stop() // second Stop must not panic or double-print
+	if got := strings.Count(b.String(), "progress:"); got != 1 {
+		t.Fatalf("got %d final lines, want 1: %q", got, b.String())
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, timings as summaries (quantiles plus _sum and _count).
+// Series appear in the deterministic Snapshot order, with one # TYPE
+// line per metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+func writePrometheus(w io.Writer, s Snapshot) error {
+	typed := map[string]bool{}
+	writeType := func(name, kind string) string {
+		if typed[name] {
+			return ""
+		}
+		typed[name] = true
+		return fmt.Sprintf("# TYPE %s %s\n", name, kind)
+	}
+	var b strings.Builder
+	for _, c := range s.Counters {
+		b.WriteString(writeType(c.Name, "counter"))
+		fmt.Fprintf(&b, "%s %d\n", metricID(c.Name, c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		b.WriteString(writeType(g.Name, "gauge"))
+		fmt.Fprintf(&b, "%s %s\n", metricID(g.Name, g.Labels), formatFloat(g.Value))
+	}
+	for _, t := range s.Timings {
+		b.WriteString(writeType(t.Name, "summary"))
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", t.P50}, {"0.99", t.P99}} {
+			labels := append(append([]Label(nil), t.Labels...), Label{Key: "quantile", Value: q.q})
+			fmt.Fprintf(&b, "%s %s\n", metricID(t.Name, labels), formatFloat(q.v))
+		}
+		fmt.Fprintf(&b, "%s %s\n", metricID(t.Name+"_sum", t.Labels), formatFloat(t.Sum))
+		fmt.Fprintf(&b, "%s %d\n", metricID(t.Name+"_count", t.Labels), t.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float compactly and losslessly, matching the
+// Prometheus client convention.
+func formatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace emits a JSONL run trace: one JSON object per finished span,
+// appended to the writer in completion order. The schema is flat and
+// stable (documented in DESIGN.md):
+//
+//	{"span":"analyze","start_ms":12.402,"dur_ms":8731.114,"records":1000000}
+//
+// start_ms is the span's start offset from the trace origin (trace
+// creation time) in milliseconds; dur_ms its wall duration; records an
+// optional record count (omitted when zero). Spans may start and end
+// on any goroutine; the writer is serialized internally. A nil *Trace
+// is a valid no-op, so call sites need no "is tracing on?" branches.
+type Trace struct {
+	mu     sync.Mutex
+	w      io.Writer
+	origin time.Time
+	err    error
+}
+
+// NewTrace returns a trace writing JSONL to w. The trace origin (the
+// zero of every start_ms) is the call time.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w, origin: time.Now()}
+}
+
+// Err returns the first write error, if any; a trace keeps accepting
+// spans after an error (discarding them) so instrumentation never
+// aborts the run it observes.
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one in-flight traced operation.
+type Span struct {
+	t       *Trace
+	name    string
+	start   time.Time
+	records int64
+}
+
+// Start opens a span. End it to emit its trace line.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// AddRecords adds to the span's record count, reported on End.
+func (s *Span) AddRecords(n int64) {
+	if s == nil {
+		return
+	}
+	s.records += n
+}
+
+// End closes the span and writes its trace line.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.emit(s.name, s.start, time.Since(s.start), s.records)
+}
+
+// Emit writes one pre-measured span — an operation whose cost was
+// captured elsewhere (e.g. the per-stage timings aggregated by the
+// analysis engine). Its start_ms is the emission offset.
+func (t *Trace) Emit(name string, dur time.Duration, records int64) {
+	if t == nil {
+		return
+	}
+	t.emit(name, time.Now(), dur, records)
+}
+
+func (t *Trace) emit(name string, start time.Time, dur time.Duration, records int64) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"span":%q,"start_ms":%.3f,"dur_ms":%.3f`,
+		name, float64(start.Sub(t.origin).Microseconds())/1000, float64(dur.Microseconds())/1000)
+	if records != 0 {
+		fmt.Fprintf(&b, `,"records":%d`, records)
+	}
+	b.WriteString("}\n")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := io.WriteString(t.w, b.String()); err != nil {
+		t.err = err
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+type traceLine struct {
+	Span    string   `json:"span"`
+	StartMS float64  `json:"start_ms"`
+	DurMS   float64  `json:"dur_ms"`
+	Records *int64   `json:"records"`
+	Extra   []string `json:"-"`
+}
+
+func TestTraceJSONL(t *testing.T) {
+	var b strings.Builder
+	tr := NewTrace(&b)
+
+	sp := tr.Start("analyze")
+	sp.AddRecords(1000)
+	sp.AddRecords(500)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	tr.Emit("stage:presence", 250*time.Millisecond, 0)
+
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), b.String())
+	}
+	var first, second traceLine
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if first.Span != "analyze" || first.Records == nil || *first.Records != 1500 {
+		t.Fatalf("span 1 = %+v, want analyze with 1500 records", first)
+	}
+	if first.DurMS < 2 {
+		t.Fatalf("span 1 duration %.3fms, want >= 2ms", first.DurMS)
+	}
+	if second.Span != "stage:presence" || second.DurMS != 250 {
+		t.Fatalf("span 2 = %+v, want stage:presence at 250ms", second)
+	}
+	// A zero record count is omitted from the line entirely.
+	if second.Records != nil {
+		t.Fatalf("span 2 carries records %d, want field omitted", *second.Records)
+	}
+	if strings.Contains(lines[1], "records") {
+		t.Fatalf("zero-record span serialized a records field: %s", lines[1])
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestTraceStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	tr := NewTrace(&failWriter{err: boom})
+	tr.Emit("a", time.Second, 0)
+	if !errors.Is(tr.Err(), boom) {
+		t.Fatalf("Err() = %v, want %v", tr.Err(), boom)
+	}
+	// Later spans are discarded, not retried; the error stays first.
+	tr.Emit("b", time.Second, 0)
+	if !errors.Is(tr.Err(), boom) {
+		t.Fatalf("Err() after second emit = %v, want %v", tr.Err(), boom)
+	}
+}

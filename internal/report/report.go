@@ -72,6 +72,7 @@ func Render(r *analysis.Report, ctx analysis.Context, opts Options) string {
 		section(&b, r, "clusters", renderClusters)
 	}
 	renderQuality(&b, r, opts.Quality)
+	renderProfile(&b, r)
 	return b.String()
 }
 
@@ -128,6 +129,39 @@ func renderQuality(b *strings.Builder, r *analysis.Report, q *analysis.DataQuali
 		}
 		b.WriteString("\n")
 	}
+}
+
+// renderProfile writes the Pipeline profile section: the per-stage
+// cost table an observed run carries (analysis.RunOptions.Obs). The
+// record counts reconcile with the Preprocessing/Data Quality totals:
+// every live stage sees exactly the accepted records, i.e. clean
+// records minus the out-of-period exclusions.
+func renderProfile(b *strings.Builder, r *analysis.Report) {
+	if len(r.Profile) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "## Pipeline profile\n\n")
+	fmt.Fprintf(b, "Per-stage wall time summed across workers; records are the accepted records offered to each stage's Add path (clean records %d − out-of-period %d = %d).\n\n",
+		r.CleanRecords, r.OutOfPeriod, int64(r.CleanRecords)-r.OutOfPeriod)
+	fmt.Fprintf(b, "| stage | records | batches | add s | merge s | finalize s | total s | records/s |\n|---|---|---|---|---|---|---|---|\n")
+	var recs, batches int64
+	var add, merge, fin float64
+	for _, p := range r.Profile {
+		rate := "—"
+		if total := p.TotalSeconds(); total > 0 && p.Records > 0 {
+			rate = fmt.Sprintf("%.0f", float64(p.Records)/total)
+		}
+		fmt.Fprintf(b, "| %s | %d | %d | %.4f | %.4f | %.4f | %.4f | %s |\n",
+			p.Stage, p.Records, p.Batches, p.AddSeconds, p.MergeSeconds,
+			p.FinalizeSeconds, p.TotalSeconds(), rate)
+		recs += p.Records
+		batches += p.Batches
+		add += p.AddSeconds
+		merge += p.MergeSeconds
+		fin += p.FinalizeSeconds
+	}
+	fmt.Fprintf(b, "| **total** | %d | %d | %.4f | %.4f | %.4f | %.4f | — |\n\n",
+		recs, batches, add, merge, fin, add+merge+fin)
 }
 
 func renderTable1(b *strings.Builder, r *analysis.Report) {
