@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 # cover fails when total statement coverage drops below this.
 COVER_MIN ?= 70
 
-.PHONY: all build test race vet fmt fuzz-smoke bench bench-smoke cover ci
+.PHONY: all build test race vet fmt fuzz-smoke bench bench-smoke chaos cover ci
 
 all: build
 
@@ -31,6 +31,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The coordinator fault-tolerance suite under the race detector:
+# workers killed mid-stream, hung until speculation or timeout,
+# bit-flipped snapshots quarantined, plus the SIGTERM-checkpoint and
+# corrupt-partial CLI paths. -count=1 defeats the test cache — chaos
+# runs must actually run.
+chaos:
+	$(GO) test -race -count=1 ./internal/drive/ ./cmd/caranalyze/ ./cmd/carmerge/
+
 vet:
 	$(GO) vet ./...
 
@@ -56,4 +64,4 @@ fuzz-smoke:
 	$(GO) test ./internal/snapshot -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/analysis -run='^$$' -fuzz=FuzzReadPartial -fuzztime=$(FUZZTIME)
 
-ci: fmt vet build race bench-smoke fuzz-smoke
+ci: fmt vet build race chaos bench-smoke fuzz-smoke

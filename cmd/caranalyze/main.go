@@ -12,12 +12,16 @@
 //
 // Distributed and restartable runs:
 //
-//	caranalyze -partial shard0.snap shard0.csv   # map: emit partial state
+//	cardrive -shards 8 day1.cdr day2.cdr         # coordinator: shard, retry, merge
+//	caranalyze -partial s3.snap -shard 3/8 day1.cdr day2.cdr  # one worker by hand
 //	carmerge shard*.snap                         # reduce: merge + finalize
 //	caranalyze -in big.csv -stream -checkpoint run.snap -resume
 //
-// -partial accumulates a shard without finalizing and writes a
-// snapshot mergeable by carmerge. -checkpoint makes a streaming run
+// -partial accumulates a car-hash shard without finalizing and writes
+// a snapshot mergeable by carmerge; it scans every listed input and
+// keeps the records whose car falls in -shard s/S (all of them by
+// default). cardrive drives fleets of such workers with retries,
+// speculation and quarantine. -checkpoint makes a streaming run
 // durable: state is saved every -checkpoint-every records and on
 // SIGTERM/SIGINT, and -resume picks up from the saved watermark.
 package main
@@ -35,6 +39,7 @@ import (
 
 	"cellcars/internal/analysis"
 	"cellcars/internal/cdr"
+	"cellcars/internal/drive"
 	"cellcars/internal/load"
 	"cellcars/internal/obs"
 	"cellcars/internal/radio"
@@ -63,6 +68,7 @@ func main() {
 		failStage  = flag.String("failstage", "", "chaos hook: artificially fail the named analysis stage")
 
 		partial    = flag.String("partial", "", "accumulate the input into this partial snapshot (no report; merge with carmerge)")
+		shardSpec  = flag.String("shard", "", "with -partial: \"s/S\" keeps only car-hash shard s of S (default: everything)")
 		force      = flag.Bool("force", false, "overwrite an existing -partial snapshot file")
 		checkpoint = flag.String("checkpoint", "", "with -stream: write periodic state checkpoints to this file (and on SIGTERM/SIGINT)")
 		ckptEvery  = flag.Int64("checkpoint-every", 100_000, "with -checkpoint: records between periodic checkpoints (0: signal-only)")
@@ -74,10 +80,20 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
 	)
 	flag.Parse()
-	// The input file may also be given positionally:
-	//   caranalyze -partial out.snap shard.csv
-	if *in == "" && flag.NArg() == 1 {
-		*in = flag.Arg(0)
+	// Input files may also be given positionally. -partial mode
+	// accepts many (a worker scans all of them, keeping its car-hash
+	// shard); every other mode takes exactly one.
+	inputs := flag.Args()
+	if *in != "" {
+		inputs = append([]string{*in}, inputs...)
+	}
+	if *partial == "" {
+		if len(inputs) > 1 {
+			fatal("multiple input files need -partial mode")
+		}
+		if len(inputs) == 1 {
+			*in = inputs[0]
+		}
 	}
 
 	startDay, err := time.Parse("2006-01-02", *start)
@@ -152,7 +168,7 @@ func main() {
 		}()
 	}
 	if *progress {
-		prog := obs.NewProgress(os.Stderr, "records", *progEvery, totalRecordsHint(*in), progressCurrent(reg))
+		prog := obs.NewProgress(os.Stderr, "records", *progEvery, totalRecordsHint(inputs), progressCurrent(reg))
 		prog.Start()
 		defer prog.Stop()
 	}
@@ -166,18 +182,41 @@ func main() {
 	var model *load.Model
 
 	if *partial != "" {
-		if *in == "" {
-			fatal("-partial needs an input file (-in or a positional argument)")
+		if len(inputs) == 0 {
+			fatal("-partial needs input files (-in or positional arguments)")
 		}
 		if !*force {
 			if _, err := os.Stat(*partial); err == nil {
 				fatal("%s exists; use -force to overwrite", *partial)
 			}
 		}
-		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare, Obs: reg}
-		if err := runPartial(*in, *partial, ctx, sopts, ingest); err != nil {
-			fatal("partial %s: %v", *in, err)
+		shard, shards, err := parseShard(*shardSpec)
+		if err != nil {
+			fatal("%v", err)
 		}
+		chaos, attempt, err := drive.ChaosFromEnv()
+		if err != nil {
+			fatal("%v", err)
+		}
+		sopts := analysis.RunOptions{Seed: *seed, RareDays: rare, Obs: reg}
+		st, err := drive.RunWorker(drive.WorkerConfig{
+			Inputs:  inputs,
+			Shard:   shard,
+			Shards:  shards,
+			Attempt: attempt,
+			Out:     *partial,
+			Ctx:     ctx,
+			Opts:    sopts,
+			Ingest:  ingest,
+			Chaos:   chaos,
+		})
+		if err != nil {
+			fatal("partial: %v", err)
+		}
+		// The machine-readable line a cardrive coordinator parses.
+		drive.PrintStats(os.Stdout, st)
+		fmt.Printf("wrote partial state of %d records (%d quarantined) to %s; merge with carmerge or run under cardrive\n",
+			st.Records, st.Quarantined, *partial)
 		return
 	}
 
@@ -531,28 +570,19 @@ func printQuality(q *analysis.DataQuality) {
 	fmt.Println()
 }
 
-// runPartial is the map side of a distributed run: it accumulates one
-// CDR shard into streaming state and writes the un-finalized partial
-// snapshot, which carmerge later merges and finalizes. For exact
-// merged results the shards must be car-disjoint (cdr.ShardOfCar).
-func runPartial(path, out string, ctx analysis.Context, opts analysis.RunOptions, ingest cdr.ResilientConfig) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+// parseShard parses the -shard "s/S" spec; empty means shard 0 of 1
+// (keep everything).
+func parseShard(spec string) (shard, shards int, err error) {
+	if spec == "" {
+		return 0, 1, nil
 	}
-	defer f.Close()
-	rr := cdr.NewResilientReader(openReader(path, f), ingest)
-	s := analysis.NewStreamingWithOptions(ctx, opts)
-	if err := s.AddAll(rr); err != nil {
-		return err
+	if _, err := fmt.Sscanf(spec, "%d/%d", &shard, &shards); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want s/S, e.g. 3/8)", spec)
 	}
-	if err := s.WriteSnapshot(out); err != nil {
-		return err
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("bad -shard %q: shard index outside [0, %d)", spec, shards)
 	}
-	istats := rr.Stats()
-	fmt.Printf("wrote partial state of %d records (%d quarantined) to %s; merge with carmerge\n",
-		s.Watermark(), istats.QuarantinedTotal(), out)
-	return nil
+	return shard, shards, nil
 }
 
 // runStreaming analyzes a CDR file in one bounded-memory pass through
@@ -588,35 +618,54 @@ func runStreaming(path string, ctx analysis.Context, opts analysis.RunOptions, i
 }
 
 // progressCurrent returns the progress position source: the further
-// along of the resilient-ingest delivery counter (leads in file modes)
-// and the engine's raw-record counter (the only one advancing in
-// generate mode, where no resilient reader runs).
+// along of the resilient-ingest attempt counter (delivered plus
+// quarantined — leads in file modes) and the engine's raw-record
+// counter (the only one advancing in generate mode, where no resilient
+// reader runs). Quarantined records must count as progress: the ETA
+// total is estimated from the input size, which includes the records
+// ingest will reject, so a degraded run that excluded bad records
+// would otherwise stall short of 100% forever.
 func progressCurrent(reg *obs.Registry) func() int64 {
 	ingested := reg.Counter("cellcars_ingest_records_total")
+	quarantined := make([]*obs.Counter, cdr.NumFailureClasses)
+	for c := range quarantined {
+		quarantined[c] = reg.Counter("cellcars_ingest_quarantined_total",
+			obs.Label{Key: "class", Value: cdr.FailureClass(c).String()})
+	}
 	accepted := reg.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "accepted"})
 	ghosts := reg.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "ghost"})
 	oop := reg.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "out_of_period"})
 	return func() int64 {
-		raw := accepted.Value() + ghosts.Value() + oop.Value()
-		if in := ingested.Value(); in > raw {
-			return in
+		attempted := ingested.Value()
+		for _, q := range quarantined {
+			attempted += q.Value()
 		}
-		return raw
+		if raw := accepted.Value() + ghosts.Value() + oop.Value(); raw > attempted {
+			return raw
+		}
+		return attempted
 	}
 }
 
-// totalRecordsHint estimates the input's record count for progress ETA:
-// exact for binary CDR files (fixed-size records), 0 — no ETA — for
-// CSV, generated scenes, and unreadable paths.
-func totalRecordsHint(path string) int64 {
-	if path == "" || strings.HasSuffix(path, ".csv") {
+// totalRecordsHint estimates the inputs' record count for progress
+// ETA: exact for binary CDR files (fixed-size records), 0 — no ETA —
+// when any input is CSV, a generated scene, or unreadable.
+func totalRecordsHint(paths []string) int64 {
+	if len(paths) == 0 {
 		return 0
 	}
-	fi, err := os.Stat(path)
-	if err != nil {
-		return 0
+	var total int64
+	for _, path := range paths {
+		if strings.HasSuffix(path, ".csv") {
+			return 0
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return 0
+		}
+		total += cdr.BinaryRecordCount(fi.Size())
 	}
-	return cdr.BinaryRecordCount(fi.Size())
+	return total
 }
 
 // openReader picks the codec by file extension.

@@ -1,0 +1,309 @@
+// Command cardrive is the fault-tolerant coordinator for distributed
+// analysis runs: it plans car-disjoint shards over the input CDR
+// files, fans them out to caranalyze -partial worker subprocesses, and
+// survives worker crashes, stragglers and poisoned shards — failed
+// shards are retried with exponential backoff, hung attempts are
+// killed by per-attempt timeouts, stragglers get speculative duplicate
+// attempts, and a shard that keeps failing is quarantined after its
+// attempt budget so the run still produces a report that names the
+// excluded shards in its Data Quality section.
+//
+// Usage:
+//
+//	cardrive -shards 8 day1.cdr day2.cdr
+//	cardrive -shards 8 -md report.md -workdir run1 day*.cdr
+//	cardrive -resume -workdir run1 day*.cdr       # after a crash/^C
+//	cardrive -chaos kill=0.2,hang=0.1,seed=7 day*.cdr
+//
+// The work directory holds the shard snapshots, merge intermediates
+// and the journal; a journal from an earlier run is refused unless
+// -resume re-plans only its incomplete shards.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/drive"
+	"cellcars/internal/obs"
+	"cellcars/internal/radio"
+	"cellcars/internal/report"
+	"cellcars/internal/simtime"
+	"cellcars/internal/textplot"
+)
+
+func main() {
+	var (
+		shards      = flag.Int("shards", 0, "car-hash shard count (0: 2x GOMAXPROCS)")
+		parallel    = flag.Int("parallel", 0, "concurrent worker processes (0: GOMAXPROCS)")
+		maxAttempts = flag.Int("max-attempts", 3, "per-shard attempt budget before quarantine")
+		timeout     = flag.Duration("attempt-timeout", 0, "kill attempts running longer than this (0: no deadline)")
+		backoff     = flag.Duration("backoff", 250*time.Millisecond, "base retry backoff (doubles per failure, +/-50% jitter)")
+		maxBackoff  = flag.Duration("max-backoff", 30*time.Second, "retry backoff cap")
+		speculate   = flag.Float64("speculate", 1.5, "duplicate a shard's attempt once it exceeds this multiple of the p95 completed-attempt duration (0: off)")
+		specMin     = flag.Int("speculate-min", 3, "completed attempts required before speculation starts")
+		fanIn       = flag.Int("fan-in", 8, "partials merged per tree-merge step (bounds merge memory)")
+		workdir     = flag.String("workdir", "cardrive.work", "directory for shard snapshots, merge intermediates and the journal")
+		resume      = flag.Bool("resume", false, "resume from the journal in -workdir, re-planning only incomplete shards")
+		keep        = flag.Bool("keep-partials", false, "keep per-shard snapshots in -workdir after the merge")
+		chaosSpec   = flag.String("chaos", "", "inject worker faults, e.g. kill=0.2,hang=0.1,flip=0.1,seed=7,poison=3 (testing)")
+		workerBin   = flag.String("worker", "", "caranalyze binary to run as workers (default: next to cardrive, then $PATH)")
+		md          = flag.String("md", "", "also write a Markdown report to this file")
+		quiet       = flag.Bool("q", false, "suppress coordinator progress lines")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+
+		days   = flag.Int("days", 28, "study length in days (forwarded to workers)")
+		start  = flag.String("start", "2017-01-02", "study start date YYYY-MM-DD (forwarded to workers)")
+		seed   = flag.Uint64("seed", 1, "seed (forwarded to workers)")
+		tz     = flag.Int("tz", -5, "local-time offset from UTC in hours (forwarded to workers)")
+		budget = flag.Float64("budget", 1.0, "ingest error budget %% (forwarded to workers)")
+		strict = flag.Bool("strict", false, "abort workers on the first malformed record (forwarded)")
+	)
+	flag.Parse()
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cardrive [flags] input.cdr...")
+		os.Exit(2)
+	}
+	startDay, err := time.Parse("2006-01-02", *start)
+	if err != nil {
+		fatal("bad -start date: %v", err)
+	}
+	period := simtime.NewPeriod(startDay, *days)
+
+	worker, err := findWorker(*workerBin)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var chaos *drive.Chaos
+	if *chaosSpec != "" {
+		chaos, err = drive.ParseChaos(*chaosSpec)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	reg := obs.New()
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cardrive: debug server on http://%s\n", srv.Addr())
+	}
+
+	logw := os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	cfg := drive.Config{
+		Inputs:            inputs,
+		Shards:            *shards,
+		Parallel:          *parallel,
+		MaxAttempts:       *maxAttempts,
+		AttemptTimeout:    *timeout,
+		RetryBackoff:      *backoff,
+		MaxBackoff:        *maxBackoff,
+		SpeculativeFactor: *speculate,
+		SpeculativeMin:    *specMin,
+		MergeFanIn:        *fanIn,
+		WorkDir:           *workdir,
+		Resume:            *resume,
+		KeepPartials:      *keep,
+		Chaos:             chaos,
+		Obs:               reg,
+		Tag:               fmt.Sprintf("start=%s days=%d seed=%d tz=%d", *start, *days, *seed, *tz),
+		Command: func(spec drive.WorkerSpec) *exec.Cmd {
+			args := []string{
+				"-partial", spec.Out,
+				"-shard", fmt.Sprintf("%d/%d", spec.Shard, spec.Shards),
+				"-force", // orphaned attempt files from a crashed run must not block retries
+				"-days", strconv.Itoa(*days),
+				"-start", *start,
+				"-seed", strconv.FormatUint(*seed, 10),
+				"-tz", strconv.Itoa(*tz),
+				"-budget", strconv.FormatFloat(*budget, 'f', -1, 64),
+			}
+			if *strict {
+				args = append(args, "-strict")
+			}
+			args = append(args, spec.Inputs...)
+			return exec.Command(worker, args...)
+		},
+	}
+	if logw != nil {
+		cfg.Log = logw
+	}
+
+	coord, err := drive.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// ^C / SIGTERM cancels the run cleanly: inflight workers are
+	// killed, the journal stays consistent, and -resume picks up the
+	// incomplete shards.
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sigc
+		cancel()
+	}()
+	defer signal.Stop(sigc)
+
+	res, err := coord.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "cardrive: interrupted; journal saved in %s (re-run with -resume to continue)\n", *workdir)
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("cardrive: %d shards: %d done, %d quarantined | %d attempts (%d retries, %d speculative, %d spec wins) | %.1fs\n\n",
+		res.Done+res.Quarantined, res.Done, res.Quarantined,
+		res.Attempts, res.Retries, res.SpeculativeLaunches, res.SpeculativeWins,
+		res.Elapsed.Seconds())
+
+	rep := res.Report
+	actx := analysis.Context{Period: res.Header.Period(), TZOffsetSeconds: res.Header.TZOffsetSeconds}
+	printReport(rep, res)
+
+	quality := &analysis.DataQuality{
+		RecordsRead:      res.Records,
+		GhostsDropped:    int64(rep.RawRecords - rep.CleanRecords),
+		QuarantinedTotal: res.IngestQuarantined,
+		StageErrors:      rep.StageErrors,
+		ExcludedShards:   res.Excluded,
+	}
+	if len(rep.Presence.CarsFrac) > 0 {
+		quality.Gaps = analysis.DetectCoverageGaps(rep.Presence, period, 0)
+	}
+	printQuality(quality)
+
+	if *md != "" {
+		desc := fmt.Sprintf("distributed run over %d input file(s), %d shards (%d quarantined), %d records",
+			len(inputs), res.Done+res.Quarantined, res.Quarantined, res.Records)
+		doc := report.Render(rep, actx, report.Options{
+			Title:            "cellcars distributed report",
+			SceneDescription: desc,
+			Now:              time.Now(),
+			Quality:          quality,
+		})
+		if err := os.WriteFile(*md, []byte(doc), 0o644); err != nil {
+			fatal("write %s: %v", *md, err)
+		}
+		fmt.Printf("wrote Markdown report to %s\n", *md)
+	}
+	if res.Quarantined > 0 {
+		// A degraded run completes, but its exit code says so.
+		os.Exit(3)
+	}
+}
+
+// findWorker locates the caranalyze binary: explicit flag, next to the
+// cardrive executable, then $PATH.
+func findWorker(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "caranalyze")
+		if fi, err := os.Stat(cand); err == nil && !fi.IsDir() {
+			return cand, nil
+		}
+	}
+	if path, err := exec.LookPath("caranalyze"); err == nil {
+		return path, nil
+	}
+	return "", errors.New("cardrive: caranalyze binary not found (build it, or pass -worker)")
+}
+
+// printReport prints the record-level sections reproducible from
+// merged partial state (same coverage as carmerge).
+func printReport(r *analysis.Report, res *drive.Result) {
+	fmt.Printf("== Preprocessing (§3) ==\n")
+	fmt.Printf("raw records %d, after ghost removal %d (%d one-hour ghosts dropped, %d outside the study period)\n\n",
+		r.RawRecords, r.CleanRecords, r.RawRecords-r.CleanRecords, r.OutOfPeriod)
+
+	fmt.Println("== Figure 2 / Table 1: daily presence ==")
+	fmt.Printf("population: %d cars, %d cells touched\n", r.Presence.TotalCars, r.Presence.TotalCells)
+	fmt.Println(analysis.FormatTable1(r.WeekdayRows))
+
+	fmt.Println("== Figure 3: total time on network (fraction of study) ==")
+	fmt.Printf("means: full %.2f%%, truncated %.2f%% | p99.5: full %.1f%%, truncated %.1f%%\n\n",
+		r.Connected.FullMean*100, r.Connected.TruncMean*100,
+		r.Connected.FullP995*100, r.Connected.TruncP995*100)
+
+	fmt.Println("== Figure 6: days on network ==")
+	fmt.Println(textplot.Histogram("cars per day-count", r.DaysHist.Counts, 72, 8))
+
+	if len(r.Segments) > 0 {
+		fmt.Println("== Table 2: car segmentation ==")
+		fmt.Println(analysis.FormatTable2(r.Segments))
+	}
+
+	fmt.Println("== Figure 9: per-cell connection durations ==")
+	fmt.Printf("median %.0f s, p73 %.0f s, mean full %.0f s, mean truncated %.0f s\n\n",
+		r.Durations.Median, r.Durations.P73, r.Durations.FullMean, r.Durations.TruncMean)
+
+	fmt.Println("== §4.5: handovers per mobility session ==")
+	fmt.Printf("sessions %d | handovers median %.0f, p70 %.0f, p90 %.0f | inter-BS share %.1f%%\n",
+		r.Handovers.Sessions, r.Handovers.Median, r.Handovers.P70, r.Handovers.P90,
+		r.Handovers.InterBSShare()*100)
+	for k := 0; k < radio.NumHandoverKinds; k++ {
+		kind := radio.HandoverKind(k)
+		if count, ok := r.Handovers.ByKind[kind]; ok {
+			fmt.Printf("  %-22s %d\n", kind, count)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("== Table 3: carrier use ==")
+	fmt.Println(analysis.FormatTable3(r.Carriers))
+
+	for _, se := range r.StageErrors {
+		fmt.Printf("!! stage %s failed: %s\n", se.Stage, se.Err)
+	}
+}
+
+// printQuality renders the Data Quality summary, excluded shards
+// included — a degraded run must name the holes in its coverage.
+func printQuality(q *analysis.DataQuality) {
+	fmt.Println("== Data Quality ==")
+	fmt.Println(q.Summary())
+	for _, ex := range q.ExcludedShards {
+		approx := ""
+		if ex.Estimated {
+			approx = "~"
+		}
+		fmt.Printf("  EXCLUDED shard %d after %d attempts (%s: %s): %s%d records lost\n",
+			ex.Shard, ex.Attempts, ex.LastClass, ex.LastErr, approx, ex.Records)
+	}
+	for _, g := range q.Gaps {
+		fmt.Printf("  coverage gap day %d (%s): %.1f%% of cars vs median %.1f%%\n",
+			g.Day, g.Date.Format("2006-01-02"), g.CarsFrac*100, g.Baseline*100)
+	}
+	for _, s := range q.StageErrors {
+		fmt.Printf("  skipped stage %s: %s\n", s.Stage, s.Err)
+	}
+	fmt.Println()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cardrive: "+format+"\n", args...)
+	os.Exit(1)
+}

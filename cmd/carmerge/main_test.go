@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
+)
+
+// TestMain re-execs the test binary as the real carmerge when
+// CARMERGE_MAIN=1, so the refusal tests see the actual exit codes and
+// stderr a user would.
+func TestMain(m *testing.M) {
+	if os.Getenv("CARMERGE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func carmerge(args ...string) (stdout, stderr string, code int) {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CARMERGE_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		code = -1
+	}
+	return out.String(), errb.String(), code
+}
+
+// writePartial accumulates one record per given car into a partial
+// snapshot at path.
+func writePartial(t *testing.T, path string, cars ...cdr.CarID) {
+	t.Helper()
+	ctx := analysis.Context{
+		Period:          simtime.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 14),
+		TZOffsetSeconds: -5 * 3600,
+	}
+	acc := analysis.NewStreamingWithOptions(ctx, analysis.RunOptions{Seed: 1})
+	start := time.Date(2017, 1, 3, 8, 0, 0, 0, time.UTC)
+	for i, car := range cars {
+		acc.Add(cdr.Record{
+			Car:      car,
+			Cell:     radio.MakeCellKey(radio.BSID(i), 0, radio.C1),
+			Start:    start.Add(time.Duration(i) * time.Hour),
+			Duration: 5 * time.Minute,
+		})
+	}
+	if err := acc.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefusesCarOverlap: partials sharing a car double-count it, so
+// carmerge must refuse unless -allow-overlap accepts that.
+func TestRefusesCarOverlap(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.snap")
+	b := filepath.Join(dir, "b.snap")
+	writePartial(t, a, 1, 2)
+	writePartial(t, b, 2, 3)
+
+	_, stderr, code := carmerge(a, b)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "share") {
+		t.Fatalf("stderr does not name the shared-car refusal:\n%s", stderr)
+	}
+
+	stdout, stderr, code := carmerge("-allow-overlap", a, b)
+	if code != 0 {
+		t.Fatalf("-allow-overlap exit code = %d; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== Preprocessing") {
+		t.Fatalf("-allow-overlap produced no report:\n%s", stdout)
+	}
+}
+
+// TestRefusesTruncatedPartial: a partial cut short mid-frame must be
+// rejected as a bad snapshot, not half-merged.
+func TestRefusesTruncatedPartial(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.snap")
+	writePartial(t, good, 1, 2, 3)
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.snap")
+	if err := os.WriteFile(cut, data[:len(data)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stderr, code := carmerge(cut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "snapshot") {
+		t.Fatalf("stderr does not mention the snapshot failure:\n%s", stderr)
+	}
+}
+
+// TestRefusesBitFlippedPartial: a single flipped bit must trip the
+// per-frame CRC and reject the file.
+func TestRefusesBitFlippedPartial(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.snap")
+	writePartial(t, good, 1, 2, 3)
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stderr, code := carmerge(bad)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "snapshot") {
+		t.Fatalf("stderr does not mention the snapshot failure:\n%s", stderr)
+	}
+}

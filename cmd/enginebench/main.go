@@ -9,6 +9,15 @@
 // workers=1. GOMAXPROCS and NumCPU are recorded so a speedup (or its
 // absence) can be read against the hardware that produced it.
 //
+// Every section records its per-rep wall times and their spread — the
+// noise floor — and carries a "valid" flag that is false when the
+// claimed effect (speedup delta, overhead) does not clear that floor,
+// when fewer than two reps were run, or when the sign is implausible
+// (a negative checkpoint or instrumentation overhead means the
+// baseline drifted between phases, not that writing snapshots made
+// the engine faster). Downstream consumers must treat invalid
+// sections as "measurement inconclusive", not as results.
+//
 // It also measures the cost of durable state: the checkpointing
 // dispatcher run with snapshot writes off versus every -ckpt-every
 // records, reported as an overhead percentage.
@@ -20,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -81,9 +91,11 @@ func main() {
 
 	var baseline *analysis.Report
 	var baseSec float64
+	var baseReps []float64
 	for _, w := range counts {
 		e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: w})
 		best := 0.0
+		repSecs := make([]float64, 0, *reps)
 		var rep *analysis.Report
 		for r := 0; r < *reps; r++ {
 			t0 := time.Now()
@@ -92,6 +104,7 @@ func main() {
 			if err != nil {
 				fatal("workers=%d: %v", w, err)
 			}
+			repSecs = append(repSecs, sec)
 			if best == 0 || sec < best {
 				best = sec
 			}
@@ -100,19 +113,28 @@ func main() {
 			fatal("workers=%d: stage errors: %+v", w, rep.StageErrors)
 		}
 		if baseline == nil {
-			baseline, baseSec = rep, best
+			baseline, baseSec, baseReps = rep, best, repSecs
 		} else if !reflect.DeepEqual(baseline, rep) {
 			fatal("workers=%d: report differs from workers=%d — determinism broken", w, counts[0])
 		}
 		run := workerRun{
 			Workers:       w,
 			Seconds:       round3(best),
+			RepSeconds:    roundAll(repSecs),
+			SpreadPct:     round3(spreadPct(repSecs)),
 			RecordsPerSec: round3(float64(len(records)) / best),
 			Speedup:       round3(baseSec / best),
 		}
+		// The speedup claim must clear the noise of both the run it is
+		// made from and the baseline it is made against. The workers=1
+		// row claims nothing beyond its own timing, so only the
+		// reps>=2 requirement applies.
+		noise := max(spreadPct(repSecs), spreadPct(baseReps))
+		effect := math.Abs(run.Speedup-1) * 100
+		run.Valid = *reps >= 2 && (w == 1 || effect > noise)
 		res.Runs = append(res.Runs, run)
-		fmt.Printf("workers=%d: %.2fs, %.0f records/sec, speedup %.2fx\n",
-			w, run.Seconds, run.RecordsPerSec, run.Speedup)
+		fmt.Printf("workers=%d: %.2fs, %.0f records/sec, speedup %.2fx (spread %.1f%%)%s\n",
+			w, run.Seconds, run.RecordsPerSec, run.Speedup, run.SpreadPct, validNote(run.Valid))
 	}
 
 	if *ckptEvery > 0 {
@@ -121,19 +143,19 @@ func main() {
 			fatal("checkpoint bench: %v", err)
 		}
 		res.Checkpoint = cr
-		fmt.Printf("checkpointing every %d records (workers=%d): %.2fs off vs %.2fs on, overhead %.1f%% (%d checkpoints)\n",
-			cr.Every, cr.Workers, cr.SecondsOff, cr.SecondsOn, cr.OverheadPct, cr.Checkpoints)
+		fmt.Printf("checkpointing every %d records (workers=%d): %.2fs off vs %.2fs on, overhead %.1f%% (spread %.1f%%, %d checkpoints)%s\n",
+			cr.Every, cr.Workers, cr.SecondsOff, cr.SecondsOn, cr.OverheadPct, cr.SpreadPct, cr.Checkpoints, validNote(cr.Valid))
 	}
 
 	lastW := counts[len(counts)-1]
-	obsOff := res.Runs[len(res.Runs)-1].Seconds
-	or, err := benchObs(records, ctx, opts, lastW, *reps, obsOff, baseline)
+	lastRun := res.Runs[len(res.Runs)-1]
+	or, err := benchObs(records, ctx, opts, lastW, *reps, lastRun.RepSeconds, baseline)
 	if err != nil {
 		fatal("obs bench: %v", err)
 	}
 	res.Obs = or
-	fmt.Printf("observability (workers=%d): %.2fs off vs %.2fs on, overhead %.1f%%\n",
-		lastW, or.SecondsOff, or.SecondsOn, or.OverheadPct)
+	fmt.Printf("observability (workers=%d): %.2fs off vs %.2fs on, overhead %.1f%% (spread %.1f%%)%s\n",
+		lastW, or.SecondsOff, or.SecondsOn, or.OverheadPct, or.SpreadPct, validNote(or.Valid))
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -172,35 +194,45 @@ type result struct {
 }
 
 type workerRun struct {
-	Workers       int     `json:"workers"`
-	Seconds       float64 `json:"seconds"`
-	RecordsPerSec float64 `json:"records_per_sec"`
-	Speedup       float64 `json:"speedup_vs_sequential"`
+	Workers       int       `json:"workers"`
+	Seconds       float64   `json:"seconds"`
+	RepSeconds    []float64 `json:"rep_seconds"`
+	SpreadPct     float64   `json:"spread_pct"`
+	RecordsPerSec float64   `json:"records_per_sec"`
+	Speedup       float64   `json:"speedup_vs_sequential"`
+	Valid         bool      `json:"valid"`
 }
 
 // checkpointRun records the cost of durable state: the same
 // checkpointing dispatcher run with snapshot writes off and on, so the
 // delta is the checkpoint cost alone, not the dispatcher's.
 type checkpointRun struct {
-	Workers          int     `json:"workers"`
-	Every            int64   `json:"every_records"`
-	Checkpoints      int64   `json:"checkpoints_written"`
-	SecondsOff       float64 `json:"seconds_off"`
-	SecondsOn        float64 `json:"seconds_on"`
-	RecordsPerSecOff float64 `json:"records_per_sec_off"`
-	RecordsPerSecOn  float64 `json:"records_per_sec_on"`
-	OverheadPct      float64 `json:"overhead_pct"`
+	Workers          int       `json:"workers"`
+	Every            int64     `json:"every_records"`
+	Checkpoints      int64     `json:"checkpoints_written"`
+	SecondsOff       float64   `json:"seconds_off"`
+	SecondsOn        float64   `json:"seconds_on"`
+	RepSecondsOff    []float64 `json:"rep_seconds_off"`
+	RepSecondsOn     []float64 `json:"rep_seconds_on"`
+	SpreadPct        float64   `json:"spread_pct"`
+	RecordsPerSecOff float64   `json:"records_per_sec_off"`
+	RecordsPerSecOn  float64   `json:"records_per_sec_on"`
+	OverheadPct      float64   `json:"overhead_pct"`
+	Valid            bool      `json:"valid"`
 }
 
 // obsRun records the cost of the observability layer: the same engine
-// run with no registry (seconds_off, reusing the plain run's best at
+// run with no registry (seconds_off, reusing the plain run's reps at
 // the same worker count) versus a fresh registry per rep (seconds_on),
 // plus the per-stage cost table of the instrumented run.
 type obsRun struct {
 	Workers     int           `json:"workers"`
 	SecondsOff  float64       `json:"seconds_off"`
 	SecondsOn   float64       `json:"seconds_on"`
+	RepSeconds  []float64     `json:"rep_seconds"`
+	SpreadPct   float64       `json:"spread_pct"`
 	OverheadPct float64       `json:"overhead_pct"`
+	Valid       bool          `json:"valid"`
 	Stages      []stageTiming `json:"stages"`
 }
 
@@ -220,8 +252,9 @@ type stageTiming struct {
 // non-deterministic Profile cleared — must stay bit-identical to the
 // uninstrumented baseline.
 func benchObs(records []cdr.Record, ctx analysis.Context, opts analysis.RunOptions,
-	workers, reps int, secondsOff float64, baseline *analysis.Report) (*obsRun, error) {
+	workers, reps int, offReps []float64, baseline *analysis.Report) (*obsRun, error) {
 	best := 0.0
+	onReps := make([]float64, 0, reps)
 	var profile []analysis.StageProfile
 	for r := 0; r < reps; r++ {
 		iopts := opts
@@ -238,15 +271,25 @@ func benchObs(records []cdr.Record, ctx analysis.Context, opts analysis.RunOptio
 		if !reflect.DeepEqual(baseline, rep) {
 			return nil, fmt.Errorf("instrumented report differs from baseline — observability must not change results")
 		}
+		onReps = append(onReps, sec)
 		if best == 0 || sec < best {
 			best, profile = sec, prof
 		}
 	}
+	secondsOff := minOf(offReps)
+	overhead := (best - secondsOff) / secondsOff * 100
+	noise := max(spreadPct(onReps), spreadPct(offReps))
 	or := &obsRun{
 		Workers:     workers,
 		SecondsOff:  round3(secondsOff),
 		SecondsOn:   round3(best),
-		OverheadPct: round3((best - secondsOff) / secondsOff * 100),
+		RepSeconds:  roundAll(onReps),
+		SpreadPct:   round3(noise),
+		OverheadPct: round3(overhead),
+		// Instrumentation cannot make the engine faster: a negative
+		// overhead means the uninstrumented phase drifted, so the sign
+		// check rejects it even when it clears the spread.
+		Valid: reps >= 2 && overhead > 0 && overhead > noise,
 	}
 	for _, p := range profile {
 		or.Stages = append(or.Stages, stageTiming{
@@ -275,43 +318,53 @@ func benchCheckpoint(records []cdr.Record, ctx analysis.Context, opts analysis.R
 	path := filepath.Join(dir, "ckpt.snap")
 
 	e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: workers})
-	measure := func(cfg analysis.CheckpointConfig) (float64, error) {
+	measure := func(cfg analysis.CheckpointConfig) (float64, []float64, error) {
 		best := 0.0
+		repSecs := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
 			os.Remove(path)
 			t0 := time.Now()
 			rep, err := e.RunReaderCheckpointed(cdr.NewSliceReader(records), cfg)
 			sec := time.Since(t0).Seconds()
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			if !reflect.DeepEqual(baseline, rep) {
-				return 0, fmt.Errorf("checkpointed report differs from baseline — determinism broken")
+				return 0, nil, fmt.Errorf("checkpointed report differs from baseline — determinism broken")
 			}
+			repSecs = append(repSecs, sec)
 			if best == 0 || sec < best {
 				best = sec
 			}
 		}
-		return best, nil
+		return best, repSecs, nil
 	}
 
-	off, err := measure(analysis.CheckpointConfig{})
+	off, offReps, err := measure(analysis.CheckpointConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("checkpoints off: %w", err)
 	}
-	on, err := measure(analysis.CheckpointConfig{Path: path, Every: every})
+	on, onReps, err := measure(analysis.CheckpointConfig{Path: path, Every: every})
 	if err != nil {
 		return nil, fmt.Errorf("checkpoints on: %w", err)
 	}
+	overhead := (on - off) / off * 100
+	noise := max(spreadPct(offReps), spreadPct(onReps))
 	return &checkpointRun{
 		Workers:          workers,
 		Every:            every,
 		Checkpoints:      int64(len(records)) / every,
 		SecondsOff:       round3(off),
 		SecondsOn:        round3(on),
+		RepSecondsOff:    roundAll(offReps),
+		RepSecondsOn:     roundAll(onReps),
+		SpreadPct:        round3(noise),
 		RecordsPerSecOff: round3(float64(len(records)) / off),
 		RecordsPerSecOn:  round3(float64(len(records)) / on),
-		OverheadPct:      round3((on - off) / off * 100),
+		OverheadPct:      round3(overhead),
+		// Same sign check as the obs section: snapshot writes cannot
+		// speed the dispatcher up.
+		Valid: reps >= 2 && overhead > 0 && overhead > noise,
 	}, nil
 }
 
@@ -396,6 +449,46 @@ func parseWorkers(s string) ([]int, error) {
 func round3(x float64) float64 {
 	f, _ := strconv.ParseFloat(strconv.FormatFloat(x, 'f', 3, 64), 64)
 	return f
+}
+
+func roundAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = round3(x)
+	}
+	return out
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = min(m, x)
+	}
+	return m
+}
+
+// spreadPct is the best-to-worst spread of the rep wall times as a
+// percentage of the best: (max-min)/min*100. It is the noise floor a
+// measured effect must clear before the section is marked valid.
+func spreadPct(reps []float64) float64 {
+	if len(reps) < 2 {
+		return 0
+	}
+	lo, hi := reps[0], reps[0]
+	for _, s := range reps[1:] {
+		lo, hi = min(lo, s), max(hi, s)
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return (hi - lo) / lo * 100
+}
+
+func validNote(valid bool) string {
+	if valid {
+		return ""
+	}
+	return "  [INVALID: effect within noise]"
 }
 
 func fatal(format string, args ...any) {

@@ -287,17 +287,65 @@ func writeSnapshotStream(w io.Writer, hdr SnapshotHeader, sets []*accumSet) erro
 	return sw.Close()
 }
 
+// Checkpoint writes retry transient failures with the same policy the
+// ExternalSort spill path uses: a bounded number of attempts with
+// exponential backoff. A checkpoint landing on flaky storage (NFS
+// hiccup, throttled volume) should cost a retry, not the run.
+const (
+	checkpointRetryAttempts = 3
+	checkpointRetryBackoff  = 5 * time.Millisecond
+)
+
+// createSnapshotFile, renameSnapshotFile and checkpointSleep are
+// stubbed by tests to inject checkpoint I/O faults and skip the
+// wall-clock backoff.
+var (
+	createSnapshotFile = os.Create
+	renameSnapshotFile = os.Rename
+	checkpointSleep    = time.Sleep
+)
+
 // writeSnapshotFile writes a snapshot atomically: the bytes land in
 // path+".tmp", are fsynced, and replace path with a rename, so a crash
-// mid-checkpoint leaves the previous checkpoint intact. A non-nil
-// registry records the write count, byte size and wall duration under
-// the checkpoint metrics (cellcars_checkpoint_writes_total and kin).
-func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet, reg *obs.Registry) (err error) {
+// mid-checkpoint leaves the previous checkpoint intact. Transient
+// failures (cdr.IsTransient) of any step — create, write, sync, rename
+// — are retried with exponential backoff; each failed attempt removes
+// its own temp file, so retries never leak. A non-nil registry records
+// the write count, byte size, wall duration and retries under the
+// checkpoint metrics (cellcars_checkpoint_writes_total and kin).
+func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet, reg *obs.Registry) error {
 	t0 := time.Now()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	var n int64
+	var err error
+	for attempt := 0; ; attempt++ {
+		n, err = writeSnapshotAttempt(path, hdr, sets)
+		if err == nil || !cdr.IsTransient(err) || attempt >= checkpointRetryAttempts {
+			break
+		}
+		if reg != nil {
+			reg.Counter("cellcars_checkpoint_retries_total").Inc()
+		}
+		checkpointSleep(checkpointRetryBackoff << attempt)
+	}
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		reg.Counter("cellcars_checkpoint_writes_total").Inc()
+		reg.Counter("cellcars_checkpoint_bytes_total").Add(n)
+		reg.Timing("cellcars_checkpoint_write_seconds").Observe(time.Since(t0))
+	}
+	return nil
+}
+
+// writeSnapshotAttempt performs one full write-fsync-rename cycle,
+// returning the byte count on success and cleaning up its temp file on
+// failure.
+func writeSnapshotAttempt(path string, hdr SnapshotHeader, sets []*accumSet) (n int64, err error) {
+	tmp := path + ".tmp"
+	f, err := createSnapshotFile(tmp)
+	if err != nil {
+		return 0, err
 	}
 	defer func() {
 		if err != nil {
@@ -307,24 +355,19 @@ func writeSnapshotFile(path string, hdr SnapshotHeader, sets []*accumSet, reg *o
 	cw := &countingWriter{w: f}
 	if err = writeSnapshotStream(cw, hdr, sets); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err = f.Sync(); err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err = f.Close(); err != nil {
-		return err
+		return 0, err
 	}
-	if err = os.Rename(tmp, path); err != nil {
-		return err
+	if err = renameSnapshotFile(tmp, path); err != nil {
+		return 0, err
 	}
-	if reg != nil {
-		reg.Counter("cellcars_checkpoint_writes_total").Inc()
-		reg.Counter("cellcars_checkpoint_bytes_total").Add(cw.n)
-		reg.Timing("cellcars_checkpoint_write_seconds").Observe(time.Since(t0))
-	}
-	return nil
+	return cw.n, nil
 }
 
 // countingWriter counts bytes on their way to the underlying writer,

@@ -88,6 +88,32 @@ type DataQuality struct {
 	Gaps []CoverageGap
 	// StageErrors lists analysis stages that failed and were skipped.
 	StageErrors []StageError
+	// ExcludedShards lists shards a distributed run quarantined after
+	// exhausting their attempt budget — data the report does NOT cover.
+	ExcludedShards []ExcludedShard
+}
+
+// ExcludedShard names one shard of a distributed run that was
+// quarantined: every attempt failed, so its cars are absent from the
+// merged report. Naming the hole is what makes a degraded run honest.
+type ExcludedShard struct {
+	// Shard is the car-hash shard index.
+	Shard int
+	// Attempts is how many times the shard was tried before the
+	// coordinator gave up.
+	Attempts int
+	// LastClass is the final attempt's failure classification (crash,
+	// timeout, bad-snapshot).
+	LastClass string
+	// LastErr is the final attempt's error detail.
+	LastErr string
+	// Records is the raw record count lost with the shard — observed
+	// from a failed attempt's own accounting when available, otherwise
+	// estimated from the input size (see Estimated).
+	Records int64
+	// Estimated is true when Records is an input-size estimate rather
+	// than an observed count.
+	Estimated bool
 }
 
 // NewDataQuality assembles a DataQuality from ingest stats, the
@@ -109,6 +135,10 @@ func NewDataQuality(stats cdr.IngestStats, ghosts int64, p DailyPresence, period
 
 // Summary returns a one-line human rendering, for CLI output.
 func (q *DataQuality) Summary() string {
-	return fmt.Sprintf("read %d, ghosts %d, quarantined %d, retries %d, gap days %d, failed stages %d",
+	s := fmt.Sprintf("read %d, ghosts %d, quarantined %d, retries %d, gap days %d, failed stages %d",
 		q.RecordsRead, q.GhostsDropped, q.QuarantinedTotal, q.Retries, len(q.Gaps), len(q.StageErrors))
+	if len(q.ExcludedShards) > 0 {
+		s += fmt.Sprintf(", excluded shards %d", len(q.ExcludedShards))
+	}
+	return s
 }

@@ -122,6 +122,33 @@ func ReadAll(r Reader) ([]Record, error) {
 	}
 }
 
+// Concat returns a reader that drains each source in order, as if the
+// streams were one file — the multi-input side of a sharded map run,
+// where every worker scans the same file list. A source error ends the
+// concatenated stream with that error.
+func Concat(readers ...Reader) Reader {
+	return &concatReader{readers: readers}
+}
+
+type concatReader struct {
+	readers []Reader
+	pos     int
+}
+
+func (c *concatReader) Read() (Record, error) {
+	for c.pos < len(c.readers) {
+		rec, err := c.readers[c.pos].Read()
+		if err == nil {
+			return rec, nil
+		}
+		if !errors.Is(err, io.EOF) {
+			return Record{}, err
+		}
+		c.pos++
+	}
+	return Record{}, io.EOF
+}
+
 // Skip consumes and discards n records from r — the replay fast-path
 // a checkpoint resume uses to advance a freshly opened stream to its
 // watermark. A stream that ends before n records is reported as an

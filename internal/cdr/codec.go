@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"cellcars/internal/radio"
@@ -169,6 +171,20 @@ func (c *CSVReader) Read() (Record, error) {
 var binMagic = [8]byte{'C', 'C', 'A', 'R', 'C', 'D', 'R', '1'}
 
 const binRecordSize = 8 + 8 + 8 + 4
+
+// OpenFile opens a CDR file with the codec its extension names:
+// ".csv" gets the CSV reader, everything else the binary reader. The
+// returned closer owns the underlying file.
+func OpenFile(path string) (Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return NewCSVReader(f), f, nil
+	}
+	return NewBinaryReader(f), f, nil
+}
 
 // BinaryRecordCount returns the number of records a well-formed binary
 // CDR file of the given size holds — a cheap total for progress

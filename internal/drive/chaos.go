@@ -1,0 +1,223 @@
+package drive
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"cellcars/internal/cdr"
+)
+
+// Chaos is the worker-side fault-injection wrapper of the coordinator
+// chaos suite: with configured probabilities an attempt kills itself
+// with SIGKILL at a random record offset, hangs forever (exercising
+// the attempt timeout and speculation paths), or bit-flips its output
+// snapshot after writing it (exercising ErrBadSnapshot validation).
+// Draws are a pure function of (Seed, shard, attempt), so a chaos run
+// is reproducible: the same seed injects the same faults regardless of
+// scheduling.
+type Chaos struct {
+	// Kill, Hang and Flip are per-attempt probabilities; their sum must
+	// not exceed 1.
+	Kill, Hang, Flip float64
+	// Records scales the random kill/hang offset: the fault triggers
+	// after a uniform number of records in [1, Records].
+	Records int64
+	// Seed drives the per-attempt draws.
+	Seed uint64
+	// Poison, when >= 0, names a shard whose every attempt bit-flips
+	// its output — a deterministically poisoned shard for testing the
+	// quarantine path. -1 disables.
+	Poison int
+}
+
+// ChaosEnv and AttemptEnv are the environment variables the
+// coordinator sets on worker subprocesses to forward the chaos spec
+// and the attempt ordinal (the draw key).
+const (
+	ChaosEnv   = "CARDRIVE_CHAOS"
+	AttemptEnv = "CARDRIVE_ATTEMPT"
+)
+
+// ParseChaos parses a chaos spec of comma-separated key=value pairs:
+//
+//	kill=0.3,hang=0.1,flip=0.2,n=20000,seed=7,poison=3
+//
+// kill/hang/flip are probabilities, n the record-offset scale, seed
+// the draw seed, poison a shard index (-1 none).
+func ParseChaos(spec string) (*Chaos, error) {
+	c := &Chaos{Records: 100_000, Poison: -1}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("drive: chaos spec entry %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "kill":
+			c.Kill, err = strconv.ParseFloat(val, 64)
+		case "hang":
+			c.Hang, err = strconv.ParseFloat(val, 64)
+		case "flip":
+			c.Flip, err = strconv.ParseFloat(val, 64)
+		case "n":
+			c.Records, err = strconv.ParseInt(val, 10, 64)
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "poison":
+			c.Poison, err = strconv.Atoi(val)
+		default:
+			return nil, fmt.Errorf("drive: unknown chaos key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("drive: chaos value %q: %v", part, err)
+		}
+	}
+	for _, p := range []float64{c.Kill, c.Hang, c.Flip} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("drive: chaos probability %v outside [0, 1]", p)
+		}
+	}
+	if sum := c.Kill + c.Hang + c.Flip; sum > 1 {
+		return nil, fmt.Errorf("drive: chaos probabilities sum to %v > 1", sum)
+	}
+	if c.Records < 1 {
+		c.Records = 1
+	}
+	return c, nil
+}
+
+// String renders the spec back into ParseChaos form.
+func (c *Chaos) String() string {
+	return fmt.Sprintf("kill=%v,hang=%v,flip=%v,n=%d,seed=%d,poison=%d",
+		c.Kill, c.Hang, c.Flip, c.Records, c.Seed, c.Poison)
+}
+
+// ChaosFromEnv reads the chaos spec and attempt ordinal a coordinator
+// forwarded, returning (nil, 0, nil) when no chaos is configured.
+func ChaosFromEnv() (*Chaos, int, error) {
+	spec := os.Getenv(ChaosEnv)
+	if spec == "" {
+		return nil, 0, nil
+	}
+	c, err := ParseChaos(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	attempt, _ := strconv.Atoi(os.Getenv(AttemptEnv))
+	return c, attempt, nil
+}
+
+type chaosMode int
+
+const (
+	chaosNone chaosMode = iota
+	chaosKill
+	chaosHang
+	chaosFlip
+)
+
+// chaosPlan is one attempt's drawn fault: what happens, and after how
+// many records.
+type chaosPlan struct {
+	mode chaosMode
+	at   int64
+	seed uint64
+}
+
+// plan draws the fault for one (shard, attempt). Nil chaos plans
+// nothing.
+func (c *Chaos) plan(shard, attempt int) chaosPlan {
+	if c == nil {
+		return chaosPlan{}
+	}
+	// Golden-ratio mixing keeps every (shard, attempt) pair on its own
+	// stream — a retried attempt must draw a fresh fate, not repeat
+	// the one that just killed it.
+	rng := rand.New(rand.NewPCG(c.Seed, uint64(shard)*0x9E3779B97F4A7C15+uint64(attempt)+1))
+	p := chaosPlan{seed: rng.Uint64()}
+	if shard == c.Poison {
+		p.mode = chaosFlip
+		return p
+	}
+	switch u := rng.Float64(); {
+	case u < c.Kill:
+		p.mode, p.at = chaosKill, 1+rng.Int64N(c.Records)
+	case u < c.Kill+c.Hang:
+		p.mode, p.at = chaosHang, 1+rng.Int64N(c.Records)
+	case u < c.Kill+c.Hang+c.Flip:
+		p.mode = chaosFlip
+	}
+	return p
+}
+
+// wrap interposes the plan on a record stream: kill and hang trigger
+// at the drawn offset, flip happens after the snapshot is written (see
+// RunWorker).
+func (p chaosPlan) wrap(r cdr.Reader) cdr.Reader {
+	if p.mode != chaosKill && p.mode != chaosHang {
+		return r
+	}
+	return &chaosReader{r: r, plan: p}
+}
+
+type chaosReader struct {
+	r    cdr.Reader
+	plan chaosPlan
+	n    int64
+}
+
+func (c *chaosReader) Read() (cdr.Record, error) {
+	rec, err := c.r.Read()
+	if err != nil {
+		return rec, err
+	}
+	if c.n++; c.n >= c.plan.at {
+		switch c.plan.mode {
+		case chaosKill:
+			// The real thing: no deferred cleanup, no flushes, the
+			// process is simply gone mid-stream.
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // SIGKILL delivery is asynchronous; never proceed
+		case chaosHang:
+			select {} // a straggler that will never finish on its own
+		}
+	}
+	return rec, nil
+}
+
+// flipFile corrupts one byte of a written file at a seed-deterministic
+// offset — a simulated torn/bit-rotted snapshot that the coordinator's
+// ErrBadSnapshot validation must catch.
+func flipFile(path string, seed uint64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xF11B))
+	off := rng.Int64N(fi.Size())
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << rng.Uint64N(8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Sync()
+}

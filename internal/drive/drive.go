@@ -1,0 +1,967 @@
+// Package drive implements the fault-tolerant shard coordinator
+// behind cmd/cardrive. It plans car-disjoint shards over a set of CDR
+// input files, fans the shards out to worker subprocesses (caranalyze
+// -partial), and survives the faults a real fleet-scale run hits:
+// crashed workers are retried with exponential backoff and jitter,
+// hung workers are killed by per-attempt timeouts, stragglers get a
+// speculative duplicate attempt (first validated writer wins), and a
+// shard that keeps failing — a poisoned shard — is quarantined after
+// its attempt budget so the run degrades to a report that names the
+// excluded shards instead of dying. A fsynced journal makes the run
+// resumable: a crashed coordinator re-plans only incomplete shards.
+package drive
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
+)
+
+// Failure classifications for worker attempts.
+const (
+	// ClassCrash: the worker exited non-zero or was killed (by the
+	// chaos wrapper, the OS, or anything else).
+	ClassCrash = "crash"
+	// ClassTimeout: the attempt exceeded its deadline and was killed
+	// by the coordinator.
+	ClassTimeout = "timeout"
+	// ClassBadSnapshot: the worker exited cleanly but its output
+	// failed snapshot validation (ErrBadSnapshot) or belongs to a
+	// different study configuration.
+	ClassBadSnapshot = "bad-snapshot"
+)
+
+// Config tunes a Coordinator. Inputs, WorkDir and Command are
+// required; zero values elsewhere select the documented defaults.
+type Config struct {
+	// Inputs are the CDR files the run covers. Every worker scans all
+	// of them, keeping only its car-hash shard, so files may
+	// interleave cars freely.
+	Inputs []string
+	// Shards is the car-hash shard count. Default 2×GOMAXPROCS.
+	Shards int
+	// Parallel bounds concurrently running worker processes. Default
+	// GOMAXPROCS.
+	Parallel int
+	// MaxAttempts is the per-shard attempt budget; a shard failing
+	// this many times is quarantined. Default 3.
+	MaxAttempts int
+	// AttemptTimeout kills an attempt running longer than this and
+	// classifies it as a timeout. 0 disables deadlines.
+	AttemptTimeout time.Duration
+	// RetryBackoff is the base delay before a failed shard is retried;
+	// it doubles per failure (capped at MaxBackoff) with ±50% jitter.
+	// Default 250ms; MaxBackoff default 30s.
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// JitterSeed seeds the backoff jitter; a fixed seed makes
+	// scheduling reproducible in tests. 0 seeds from the clock.
+	JitterSeed uint64
+	// SpeculativeFactor triggers a duplicate attempt for a shard whose
+	// sole running attempt exceeds factor × p95 of completed attempt
+	// durations (once SpeculativeMin attempts have completed; default
+	// 3). The first attempt to produce a valid snapshot wins; the
+	// loser is killed. <= 0 disables speculation.
+	SpeculativeFactor float64
+	SpeculativeMin    int
+	// MergeFanIn bounds how many partials are open per merge step; the
+	// coordinator tree-merges with intermediate snapshots spilled to
+	// WorkDir, so memory stays bounded by one fan-in group. Default 8.
+	MergeFanIn int
+	// WorkDir holds shard snapshots, merge intermediates and the
+	// journal.
+	WorkDir string
+	// JournalPath overrides the journal location. Default
+	// WorkDir/journal.jsonl.
+	JournalPath string
+	// Resume re-reads the journal and re-plans only shards not yet
+	// done. Without Resume, an existing journal is an error — refusing
+	// to silently clobber a previous run is part of the fault model.
+	Resume bool
+	// KeepPartials leaves per-shard snapshots in WorkDir after the
+	// merge (merge intermediates are always removed).
+	KeepPartials bool
+	// Tag names the study configuration in the journal plan event;
+	// resume refuses a journal whose tag differs.
+	Tag string
+	// Command builds the worker subprocess for one attempt. Required.
+	// The coordinator sets AttemptEnv (and ChaosEnv when Chaos is
+	// set) on the returned command.
+	Command func(spec WorkerSpec) *exec.Cmd
+	// Chaos, when non-nil, is forwarded to workers via ChaosEnv.
+	Chaos *Chaos
+	// Obs receives coordinator metrics (attempts, retries, speculative
+	// wins, quarantined shards, merge fan-in). Nil disables.
+	Obs *obs.Registry
+	// Log receives human-readable progress lines. Nil discards.
+	Log io.Writer
+}
+
+// WorkerSpec is what Command receives to build one attempt's process.
+type WorkerSpec struct {
+	Shard, Shards, Attempt int
+	Inputs                 []string
+	// Out is the attempt-unique snapshot path the worker must write.
+	Out string
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Report is the merged analysis report over all completed shards.
+	Report *analysis.Report
+	// Header is the merged snapshot header (Watermark sums the
+	// completed shards' raw record counts).
+	Header analysis.SnapshotHeader
+	// Excluded lists quarantined shards, ready for
+	// DataQuality.ExcludedShards.
+	Excluded []analysis.ExcludedShard
+	// Done and Quarantined count shard outcomes.
+	Done, Quarantined int
+	// Attempts counts worker processes launched; Retries counts
+	// re-launches after failures; SpeculativeLaunches/Wins count
+	// straggler duplicates and how many beat the original.
+	Attempts, Retries   int
+	SpeculativeLaunches int
+	SpeculativeWins     int
+	// Records sums completed shards' accepted records.
+	// IngestQuarantined is the quarantine count of one full input
+	// scan (the max across shards — every worker scans every input,
+	// so per-shard counts are parallel observations of the same bad
+	// records, not additive).
+	Records           int64
+	IngestQuarantined int64
+	// Elapsed is the wall time of the whole run including the merge.
+	Elapsed time.Duration
+}
+
+// shard states.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardRunning
+	shardDone
+	shardQuarantined
+)
+
+// attempt is one worker process.
+type attempt struct {
+	shard, n    int
+	speculative bool
+	out         string
+	cmd         *exec.Cmd
+	stdout      bytes.Buffer
+	stderr      bytes.Buffer
+	start       time.Time
+	timer       *time.Timer
+	// timedOut is set from the deadline timer's goroutine and read by
+	// the coordinator loop after Wait returns, hence atomic.
+	timedOut atomic.Bool
+	// canceled is only touched by the coordinator loop.
+	canceled bool
+}
+
+func (a *attempt) kill() {
+	if a.cmd != nil && a.cmd.Process != nil {
+		a.cmd.Process.Kill()
+	}
+}
+
+type attemptResult struct {
+	a       *attempt
+	waitErr error
+	dur     time.Duration
+}
+
+// shardRun is the coordinator's per-shard state machine.
+type shardRun struct {
+	id       int
+	state    shardState
+	attempts int // attempts launched (attempt ordinals)
+	failures int
+	nextTry  time.Time
+	inflight map[*attempt]bool
+	// speculated: a duplicate was already launched for the current
+	// generation of attempts.
+	speculated bool
+
+	lastClass, lastErr string
+	// stats of the winning attempt; for quarantined shards, the best
+	// observation from any failed attempt.
+	stats    WorkerStats
+	hasStats bool
+	final    string // promoted snapshot path
+}
+
+// Coordinator runs the fault-tolerant shard schedule. Use New, then
+// Run once.
+type Coordinator struct {
+	cfg     Config
+	met     driveMetrics
+	jr      *journal
+	shards  []*shardRun
+	results chan attemptResult
+	rng     *rand.Rand
+	// durations of completed (successful) attempts, seconds — the
+	// speculation baseline.
+	durations []float64
+	inflight  int
+	hdr       *analysis.SnapshotHeader // first promoted header, the study fingerprint
+	res       Result
+}
+
+type driveMetrics struct {
+	attempts    func(outcome string) *obs.Counter
+	retries     *obs.Counter
+	specLaunch  *obs.Counter
+	specWins    *obs.Counter
+	quarantined *obs.Counter
+	attemptSec  *obs.Timing
+	mergeInputs *obs.Counter
+	mergeLevels *obs.Counter
+	shardsDone  *obs.Gauge
+}
+
+func newDriveMetrics(reg *obs.Registry) driveMetrics {
+	if reg == nil {
+		return driveMetrics{}
+	}
+	return driveMetrics{
+		attempts: func(outcome string) *obs.Counter {
+			return reg.Counter("cellcars_drive_attempts_total", obs.Label{Key: "outcome", Value: outcome})
+		},
+		retries:     reg.Counter("cellcars_drive_retries_total"),
+		specLaunch:  reg.Counter("cellcars_drive_speculative_launches_total"),
+		specWins:    reg.Counter("cellcars_drive_speculative_wins_total"),
+		quarantined: reg.Counter("cellcars_drive_quarantined_shards_total"),
+		attemptSec:  reg.Timing("cellcars_drive_attempt_seconds"),
+		mergeInputs: reg.Counter("cellcars_drive_merge_inputs_total"),
+		mergeLevels: reg.Counter("cellcars_drive_merge_levels_total"),
+		shardsDone:  reg.Gauge("cellcars_drive_shards_done"),
+	}
+}
+
+// New validates the config and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Inputs) == 0 {
+		return nil, errors.New("drive: no inputs")
+	}
+	if cfg.WorkDir == "" {
+		return nil, errors.New("drive: no work directory")
+	}
+	if cfg.Command == nil {
+		return nil, errors.New("drive: no worker command factory")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.SpeculativeMin <= 0 {
+		cfg.SpeculativeMin = 3
+	}
+	if cfg.MergeFanIn < 2 {
+		cfg.MergeFanIn = 8
+	}
+	if cfg.JournalPath == "" {
+		cfg.JournalPath = filepath.Join(cfg.WorkDir, "journal.jsonl")
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		met:     newDriveMetrics(cfg.Obs),
+		rng:     rand.New(rand.NewPCG(seed, 0xD21FE)),
+		results: make(chan attemptResult, cfg.Parallel*2+4),
+	}
+	c.shards = make([]*shardRun, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = &shardRun{
+			id:       i,
+			inflight: make(map[*attempt]bool),
+			final:    filepath.Join(cfg.WorkDir, fmt.Sprintf("shard%04d.snap", i)),
+		}
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	fmt.Fprintf(c.cfg.Log, "cardrive: "+format+"\n", args...)
+}
+
+// Run executes the schedule until every shard is done or quarantined,
+// then tree-merges the completed partials. Cancelling ctx kills all
+// inflight workers and returns ctx.Err(); the journal allows a later
+// Resume run to pick up where this one stopped.
+func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
+	t0 := time.Now()
+	if err := os.MkdirAll(c.cfg.WorkDir, 0o755); err != nil {
+		return nil, fmt.Errorf("drive: workdir: %w", err)
+	}
+	if err := c.openOrResume(); err != nil {
+		return nil, err
+	}
+	defer c.jr.Close()
+
+	if err := c.schedule(ctx); err != nil {
+		return nil, err
+	}
+
+	done := c.doneShards()
+	if len(done) == 0 {
+		return nil, errors.New("drive: every shard was quarantined; nothing to merge")
+	}
+	partial, err := c.mergeDone(done)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.jr.emit(journalEvent{Event: evMerged, Shards: len(done)}); err != nil {
+		return nil, err
+	}
+	c.finishResult(partial, t0)
+	c.cleanup(done)
+	return &c.res, nil
+}
+
+// openOrResume opens the journal, enforcing the fresh-run/resume
+// contract, and for resume replays the log into shard state.
+func (c *Coordinator) openOrResume() error {
+	_, statErr := os.Stat(c.cfg.JournalPath)
+	exists := statErr == nil
+	if exists && !c.cfg.Resume {
+		return fmt.Errorf("drive: journal %s exists; resume the run or use a fresh work directory", c.cfg.JournalPath)
+	}
+	if c.cfg.Resume && exists {
+		if err := c.replay(); err != nil {
+			return err
+		}
+	}
+	jr, err := openJournal(c.cfg.JournalPath)
+	if err != nil {
+		return err
+	}
+	c.jr = jr
+	if !exists {
+		return c.jr.emit(journalEvent{
+			Event:  evPlan,
+			Shards: c.cfg.Shards,
+			Inputs: c.cfg.Inputs,
+			Tag:    c.cfg.Tag,
+		})
+	}
+	return nil
+}
+
+// replay folds journal events into shard state: done shards keep their
+// promoted snapshots (revalidated), failed attempts keep their failure
+// counts, quarantined shards get one more attempt budget only if the
+// snapshot situation changed (they stay quarantined otherwise).
+func (c *Coordinator) replay() error {
+	events, err := readJournal(c.cfg.JournalPath)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 || events[0].Event != evPlan {
+		return errors.New("drive: journal has no plan event; cannot resume")
+	}
+	plan := events[0]
+	if plan.Shards != c.cfg.Shards {
+		return fmt.Errorf("drive: journal planned %d shards, run configured %d", plan.Shards, c.cfg.Shards)
+	}
+	if plan.Tag != c.cfg.Tag {
+		return fmt.Errorf("drive: journal tag %q does not match run tag %q", plan.Tag, c.cfg.Tag)
+	}
+	if len(plan.Inputs) != len(c.cfg.Inputs) {
+		return fmt.Errorf("drive: journal planned %d inputs, run configured %d", len(plan.Inputs), len(c.cfg.Inputs))
+	}
+	for i, in := range plan.Inputs {
+		if in != c.cfg.Inputs[i] {
+			return fmt.Errorf("drive: journal input %d is %q, run configured %q", i, in, c.cfg.Inputs[i])
+		}
+	}
+	for _, ev := range events[1:] {
+		if ev.Shard < 0 || ev.Shard >= len(c.shards) {
+			continue
+		}
+		s := c.shards[ev.Shard]
+		switch ev.Event {
+		case evAttempt:
+			// Count launched attempts even without a recorded outcome
+			// (coordinator died mid-attempt), so new attempt ordinals
+			// — and their output paths — never collide with orphans.
+			s.attempts = max(s.attempts, ev.Attempt+1)
+		case evDone:
+			s.state = shardDone
+			s.attempts = ev.Attempt + 1
+			s.stats = WorkerStats{Records: ev.Records, Quarantined: ev.Quarantined}
+			s.hasStats = true
+		case evFail:
+			s.failures++
+			s.attempts = max(s.attempts, ev.Attempt+1)
+			s.lastClass, s.lastErr = ev.Class, ev.Err
+			if ev.Records > 0 {
+				s.stats.Records = max(s.stats.Records, ev.Records)
+			}
+		case evQuarantine:
+			s.state = shardQuarantined
+		}
+	}
+	resumedDone, replanned := 0, 0
+	for _, s := range c.shards {
+		if s.state != shardDone {
+			continue
+		}
+		// Trust but verify: the snapshot must still exist and parse.
+		if _, err := c.validateSnapshot(s.final); err != nil {
+			c.logf("resume: shard %d snapshot invalid (%v); re-planning", s.id, err)
+			s.state = shardPending
+			s.hasStats = false
+			replanned++
+			continue
+		}
+		resumedDone++
+	}
+	c.logf("resume: %d shards already done, %d re-planned, %d quarantined",
+		resumedDone, replanned, c.quarantinedCount())
+	return nil
+}
+
+func (c *Coordinator) quarantinedCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.state == shardQuarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// schedule is the coordinator event loop.
+func (c *Coordinator) schedule(ctx context.Context) error {
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if err := c.launchEligible(); err != nil {
+			c.abort()
+			return err
+		}
+		if err := c.maybeSpeculate(); err != nil {
+			c.abort()
+			return err
+		}
+		if c.settled() {
+			return nil
+		}
+		select {
+		case res := <-c.results:
+			if err := c.handleResult(res); err != nil {
+				c.abort()
+				return err
+			}
+		case <-ctx.Done():
+			c.abort()
+			return ctx.Err()
+		case <-tick.C:
+			// Re-evaluate backoff expiries and speculation.
+		}
+	}
+}
+
+// settled reports whether every shard reached a terminal state and all
+// worker processes have been reaped.
+func (c *Coordinator) settled() bool {
+	if c.inflight > 0 {
+		return false
+	}
+	for _, s := range c.shards {
+		if s.state != shardDone && s.state != shardQuarantined {
+			return false
+		}
+	}
+	return true
+}
+
+// abort kills everything inflight and drains their results.
+func (c *Coordinator) abort() {
+	for _, s := range c.shards {
+		for a := range s.inflight {
+			a.canceled = true
+			if a.timer != nil {
+				a.timer.Stop()
+			}
+			a.kill()
+		}
+	}
+	for c.inflight > 0 {
+		res := <-c.results
+		c.reap(res.a)
+		os.Remove(res.a.out)
+	}
+}
+
+// reap removes an attempt from its shard's inflight set.
+func (c *Coordinator) reap(a *attempt) {
+	s := c.shards[a.shard]
+	if s.inflight[a] {
+		delete(s.inflight, a)
+		c.inflight--
+	}
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+}
+
+// launchEligible starts attempts for pending shards whose backoff has
+// expired, while parallelism slots are free.
+func (c *Coordinator) launchEligible() error {
+	now := time.Now()
+	for _, s := range c.shards {
+		if c.inflight >= c.cfg.Parallel {
+			return nil
+		}
+		if s.state != shardPending || now.Before(s.nextTry) {
+			continue
+		}
+		if err := c.launch(s, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// launch starts one worker attempt for a shard.
+func (c *Coordinator) launch(s *shardRun, speculative bool) error {
+	n := s.attempts
+	s.attempts++
+	a := &attempt{
+		shard:       s.id,
+		n:           n,
+		speculative: speculative,
+		out:         filepath.Join(c.cfg.WorkDir, fmt.Sprintf("shard%04d.a%02d.snap", s.id, n)),
+		start:       time.Now(),
+	}
+	spec := WorkerSpec{Shard: s.id, Shards: c.cfg.Shards, Attempt: n, Inputs: c.cfg.Inputs, Out: a.out}
+	cmd := c.cfg.Command(spec)
+	if cmd == nil {
+		return fmt.Errorf("drive: command factory returned nil for shard %d", s.id)
+	}
+	if cmd.Env == nil {
+		cmd.Env = os.Environ()
+	}
+	cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", AttemptEnv, n))
+	if c.cfg.Chaos != nil {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%s", ChaosEnv, c.cfg.Chaos))
+	}
+	if cmd.Stdout == nil {
+		cmd.Stdout = &a.stdout
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = &a.stderr
+	}
+	a.cmd = cmd
+
+	if err := c.jr.emit(journalEvent{Event: evAttempt, Shard: s.id, Attempt: n, Speculative: speculative}); err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		// Spawn failure is a crash-class failure of this attempt, not
+		// a coordinator error: the retry/quarantine machinery owns it.
+		c.logf("shard %d attempt %d failed to start: %v", s.id, n, err)
+		return c.fail(s, a, ClassCrash, fmt.Sprintf("start worker: %v", err))
+	}
+	s.state = shardRunning
+	s.inflight[a] = true
+	c.inflight++
+	c.res.Attempts++
+	if n > 0 && !speculative {
+		c.res.Retries++
+		inc(c.met.retries)
+	}
+	if speculative {
+		c.res.SpeculativeLaunches++
+		inc(c.met.specLaunch)
+		c.logf("shard %d: speculative attempt %d launched (straggler)", s.id, n)
+	}
+	if c.cfg.AttemptTimeout > 0 {
+		a.timer = time.AfterFunc(c.cfg.AttemptTimeout, func() {
+			a.timedOut.Store(true)
+			a.kill()
+		})
+	}
+	go func() {
+		err := a.cmd.Wait()
+		c.results <- attemptResult{a: a, waitErr: err, dur: time.Since(a.start)}
+	}()
+	return nil
+}
+
+// handleResult classifies a finished attempt and advances its shard's
+// state machine.
+func (c *Coordinator) handleResult(res attemptResult) error {
+	a := res.a
+	s := c.shards[a.shard]
+	c.reap(a)
+
+	if a.canceled {
+		os.Remove(a.out)
+		c.met.attempt("canceled")
+		return nil
+	}
+	if a.timedOut.Load() {
+		os.Remove(a.out)
+		return c.fail(s, a, ClassTimeout, fmt.Sprintf("attempt exceeded %s", c.cfg.AttemptTimeout))
+	}
+	if res.waitErr != nil {
+		os.Remove(a.out)
+		msg := res.waitErr.Error()
+		if tail := lastLines(a.stderr.Bytes(), 3); tail != "" {
+			msg += ": " + tail
+		}
+		return c.fail(s, a, ClassCrash, msg)
+	}
+
+	p, err := c.validateSnapshot(a.out)
+	if err != nil {
+		os.Remove(a.out)
+		return c.fail(s, a, ClassBadSnapshot, err.Error())
+	}
+
+	if s.state == shardDone {
+		// A speculative sibling already won; this valid result is
+		// redundant.
+		os.Remove(a.out)
+		c.met.attempt("canceled")
+		return nil
+	}
+	return c.promote(s, a, res, p)
+}
+
+// promote renames the validated attempt snapshot to the shard's final
+// path — the atomic first-writer-wins step — and settles the shard.
+func (c *Coordinator) promote(s *shardRun, a *attempt, res attemptResult, p *analysis.Partial) error {
+	if err := os.Rename(a.out, s.final); err != nil {
+		return fmt.Errorf("drive: promote shard %d: %w", s.id, err)
+	}
+	s.state = shardDone
+	st, ok := parseWorkerStats(a.stdout.Bytes())
+	if !ok {
+		st = WorkerStats{Records: p.Records()}
+	}
+	s.stats, s.hasStats = st, true
+	c.durations = append(c.durations, res.dur.Seconds())
+	c.met.attempt("ok")
+	c.met.observeAttempt(res.dur)
+	c.met.setDone(c.doneCount())
+	if a.speculative {
+		c.res.SpeculativeWins++
+		inc(c.met.specWins)
+		c.logf("shard %d: speculative attempt %d won in %.2fs", s.id, a.n, res.dur.Seconds())
+	} else {
+		c.logf("shard %d done in %.2fs (attempt %d, %d records)", s.id, res.dur.Seconds(), a.n, st.Records)
+	}
+	// Kill the losing siblings; their results are reaped as canceled.
+	for sib := range s.inflight {
+		sib.canceled = true
+		sib.kill()
+	}
+	return c.jr.emit(journalEvent{
+		Event:       evDone,
+		Shard:       s.id,
+		Attempt:     a.n,
+		Speculative: a.speculative,
+		Records:     st.Records,
+		Quarantined: st.Quarantined,
+		Seconds:     res.dur.Seconds(),
+	})
+}
+
+// fail records a failed attempt, schedules the retry or quarantines
+// the shard once its budget is spent.
+func (c *Coordinator) fail(s *shardRun, a *attempt, class, msg string) error {
+	c.met.attempt(class)
+	if s.state == shardDone {
+		return nil // a speculative loser failing after the win is noise
+	}
+	s.failures++
+	s.lastClass, s.lastErr = class, msg
+	// A failed attempt may still have reported how far it got; keep
+	// the best observation for the excluded-shard accounting.
+	if st, ok := parseWorkerStats(a.stdout.Bytes()); ok && st.Records > s.stats.Records {
+		s.stats.Records = st.Records
+	}
+	c.logf("shard %d attempt %d failed (%s): %s", s.id, a.n, class, msg)
+	if err := c.jr.emit(journalEvent{
+		Event: evFail, Shard: s.id, Attempt: a.n, Class: class, Err: msg,
+		Records: s.stats.Records, Failures: s.failures,
+	}); err != nil {
+		return err
+	}
+
+	if s.failures >= c.cfg.MaxAttempts {
+		if len(s.inflight) > 0 {
+			// A sibling attempt is still running and may yet succeed;
+			// quarantine only if it also fails.
+			return nil
+		}
+		return c.quarantine(s)
+	}
+	if len(s.inflight) == 0 {
+		s.state = shardPending
+		s.speculated = false
+		s.nextTry = time.Now().Add(c.backoff(s.failures))
+	}
+	return nil
+}
+
+// quarantine retires a shard whose attempt budget is spent.
+func (c *Coordinator) quarantine(s *shardRun) error {
+	s.state = shardQuarantined
+	inc(c.met.quarantined)
+	c.logf("shard %d QUARANTINED after %d failed attempts (last: %s: %s)", s.id, s.failures, s.lastClass, s.lastErr)
+	return c.jr.emit(journalEvent{Event: evQuarantine, Shard: s.id, Failures: s.failures})
+}
+
+// backoff computes the jittered exponential delay after the given
+// failure count (>= 1): base × 2^(failures-1), capped, ±50% jitter.
+func (c *Coordinator) backoff(failures int) time.Duration {
+	d := c.cfg.RetryBackoff
+	for i := 1; i < failures && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int64N(int64(d)+1))
+}
+
+// maybeSpeculate launches duplicate attempts for stragglers: shards
+// whose single running attempt has exceeded SpeculativeFactor × p95 of
+// completed attempt durations.
+func (c *Coordinator) maybeSpeculate() error {
+	if c.cfg.SpeculativeFactor <= 0 || len(c.durations) < c.cfg.SpeculativeMin {
+		return nil
+	}
+	threshold := time.Duration(c.p95() * c.cfg.SpeculativeFactor * float64(time.Second))
+	if threshold < 50*time.Millisecond {
+		threshold = 50 * time.Millisecond
+	}
+	now := time.Now()
+	for _, s := range c.shards {
+		if c.inflight >= c.cfg.Parallel {
+			return nil
+		}
+		if s.state != shardRunning || s.speculated || len(s.inflight) != 1 {
+			continue
+		}
+		var running *attempt
+		for a := range s.inflight {
+			running = a
+		}
+		if now.Sub(running.start) <= threshold {
+			continue
+		}
+		s.speculated = true
+		if err := c.launch(s, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// p95 of completed attempt durations, in seconds.
+func (c *Coordinator) p95() float64 {
+	d := append([]float64(nil), c.durations...)
+	sort.Float64s(d)
+	idx := int(math.Ceil(0.95*float64(len(d)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d[idx]
+}
+
+// validateSnapshot parses an attempt's output and checks it belongs to
+// the same study as earlier promoted shards. The full parse is what
+// turns a bit-flipped file into ErrBadSnapshot before it can poison
+// the merge.
+func (c *Coordinator) validateSnapshot(path string) (*analysis.Partial, error) {
+	p, err := analysis.ReadPartialFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h := p.Header
+	if c.hdr == nil {
+		c.hdr = &h
+		return p, nil
+	}
+	if !h.PeriodStart.Equal(c.hdr.PeriodStart) || h.PeriodDays != c.hdr.PeriodDays ||
+		h.TZOffsetSeconds != c.hdr.TZOffsetSeconds || h.Seed != c.hdr.Seed || h.HasLoad != c.hdr.HasLoad {
+		return nil, fmt.Errorf("snapshot %s: study configuration differs from earlier shards", filepath.Base(path))
+	}
+	return p, nil
+}
+
+func (c *Coordinator) doneCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.state == shardDone {
+			n++
+		}
+	}
+	return n
+}
+
+// doneShards returns completed shards in shard order — merge order is
+// deterministic, which keeps degraded-run reports reproducible.
+func (c *Coordinator) doneShards() []*shardRun {
+	var done []*shardRun
+	for _, s := range c.shards {
+		if s.state == shardDone {
+			done = append(done, s)
+		}
+	}
+	return done
+}
+
+// finishResult assembles the Result from the merged partial and the
+// shard ledger.
+func (c *Coordinator) finishResult(p *analysis.Partial, t0 time.Time) {
+	c.res.Report = p.Finalize()
+	c.res.Header = p.Header
+	c.res.Elapsed = time.Since(t0)
+	estimate := c.estimateShardRecords()
+	for _, s := range c.shards {
+		switch s.state {
+		case shardDone:
+			c.res.Done++
+			c.res.Records += s.stats.Records
+			if s.stats.Quarantined > c.res.IngestQuarantined {
+				c.res.IngestQuarantined = s.stats.Quarantined
+			}
+		case shardQuarantined:
+			c.res.Quarantined++
+			ex := analysis.ExcludedShard{
+				Shard:     s.id,
+				Attempts:  s.failures,
+				LastClass: s.lastClass,
+				LastErr:   s.lastErr,
+				Records:   s.stats.Records,
+			}
+			if ex.Records == 0 {
+				ex.Records, ex.Estimated = estimate, true
+			}
+			c.res.Excluded = append(c.res.Excluded, ex)
+		}
+	}
+}
+
+// estimateShardRecords approximates one shard's record count from the
+// binary input sizes — the fallback when a quarantined shard never
+// reported its own progress. CSV inputs contribute 0 (record size is
+// variable), so the estimate is a floor.
+func (c *Coordinator) estimateShardRecords() int64 {
+	var total int64
+	for _, in := range c.cfg.Inputs {
+		if strings.HasSuffix(in, ".csv") {
+			continue
+		}
+		if fi, err := os.Stat(in); err == nil {
+			total += cdr.BinaryRecordCount(fi.Size())
+		}
+	}
+	return total / int64(c.cfg.Shards)
+}
+
+// cleanup removes attempt leftovers and, unless KeepPartials, the
+// promoted shard snapshots.
+func (c *Coordinator) cleanup(done []*shardRun) {
+	if leftovers, err := filepath.Glob(filepath.Join(c.cfg.WorkDir, "shard*.a*.snap")); err == nil {
+		for _, f := range leftovers {
+			os.Remove(f)
+		}
+	}
+	if !c.cfg.KeepPartials {
+		for _, s := range done {
+			os.Remove(s.final)
+		}
+	}
+}
+
+// lastLines returns up to n trailing non-empty lines of b, joined with
+// "; " — enough stderr to diagnose a crash without flooding the log.
+func lastLines(b []byte, n int) string {
+	var lines []string
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if s := strings.TrimSpace(string(line)); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "; ")
+}
+
+// nil-safe metric methods: a Coordinator without a registry skips all
+// instrumentation.
+
+func (m driveMetrics) attempt(outcome string) {
+	if m.attempts != nil {
+		m.attempts(outcome).Inc()
+	}
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (m driveMetrics) observeAttempt(d time.Duration) {
+	if m.attemptSec != nil {
+		m.attemptSec.Observe(d)
+	}
+}
+
+func (m driveMetrics) setDone(n int) {
+	if m.shardsDone != nil {
+		m.shardsDone.Set(float64(n))
+	}
+}
+
+func (m driveMetrics) addMergeInputs(n int) {
+	if m.mergeInputs != nil {
+		m.mergeInputs.Add(int64(n))
+	}
+}

@@ -129,6 +129,22 @@ func renderQuality(b *strings.Builder, r *analysis.Report, q *analysis.DataQuali
 		}
 		b.WriteString("\n")
 	}
+	if len(q.ExcludedShards) > 0 {
+		fmt.Fprintf(b, "**Excluded shards.** The coordinator quarantined %d shard(s) after exhausting their attempt budget; their cars are absent from every figure above.\n\n", len(q.ExcludedShards))
+		fmt.Fprintf(b, "| shard | attempts | last failure | records lost |\n|---|---|---|---|\n")
+		for _, x := range q.ExcludedShards {
+			records := fmt.Sprintf("%d", x.Records)
+			if x.Estimated {
+				records = "~" + records + " (estimated)"
+			}
+			failure := x.LastClass
+			if x.LastErr != "" {
+				failure += ": " + x.LastErr
+			}
+			fmt.Fprintf(b, "| %d | %d | %s | %s |\n", x.Shard, x.Attempts, failure, records)
+		}
+		b.WriteString("\n")
+	}
 }
 
 // renderProfile writes the Pipeline profile section: the per-stage
