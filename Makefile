@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 # cover fails when total statement coverage drops below this.
 COVER_MIN ?= 70
 
-.PHONY: all build test race vet fmt fuzz-smoke bench bench-smoke chaos cover ci
+.PHONY: all build test race vet fmt fuzz-smoke bench bench-smoke bench-regress chaos cover ci
 
 all: build
 
@@ -24,6 +24,15 @@ bench-smoke:
 	$(GO) run ./cmd/enginebench -records 50000 -reps 1 -workers 1,4 -ckpt-every 20000 -out BENCH_engine.smoke.json
 	grep -q '"stages"' BENCH_engine.smoke.json
 	rm -f BENCH_engine.smoke.json
+
+# Throughput regression gate: re-run the committed baseline's workload
+# and fail when records/sec regressed beyond the rep-spread noise of
+# either run plus a 5% floor. Self-skipping (exit 0 with a warning)
+# when GOMAXPROCS/NumCPU differ from the machine that produced
+# BENCH_engine.json, so it only bites where the comparison means
+# something.
+bench-regress:
+	$(GO) run ./cmd/enginebench -baseline BENCH_engine.json
 
 test:
 	$(GO) test ./...
@@ -64,4 +73,4 @@ fuzz-smoke:
 	$(GO) test ./internal/snapshot -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/analysis -run='^$$' -fuzz=FuzzReadPartial -fuzztime=$(FUZZTIME)
 
-ci: fmt vet build race chaos bench-smoke fuzz-smoke
+ci: fmt vet build race chaos bench-smoke bench-regress fuzz-smoke

@@ -39,6 +39,8 @@ import (
 	"cellcars/internal/clean"
 	"cellcars/internal/fleet"
 	"cellcars/internal/load"
+	"cellcars/internal/obs"
+	"cellcars/internal/query"
 	"cellcars/internal/radio"
 	"cellcars/internal/simtime"
 	"cellcars/internal/snapshot"
@@ -221,8 +223,62 @@ func ResumeStreaming(ctx Context, opts AnalyzeOptions, path string) (*StreamingA
 	return analysis.ResumeStreaming(ctx, opts, path)
 }
 
+// RestoreStreaming restores a streaming accumulator from a checkpoint
+// stream (the io.Reader form of ResumeStreaming, for state that does
+// not live in a file — embedded snapshot frames, network transfers).
+func RestoreStreaming(ctx Context, opts AnalyzeOptions, r io.Reader) (*StreamingAnalyzer, error) {
+	return analysis.RestoreStreaming(ctx, opts, r)
+}
+
 // SkipRecords advances a reader past n records — the resume seek.
 func SkipRecords(r Reader, n int64) error { return cdr.Skip(r, n) }
+
+// The always-on query service (cmd/carqueryd): continuous ingest into
+// time-bucketed accumulator sets, rolling-window reports served over
+// HTTP/JSON, cached per (endpoint, window), durable via rotated
+// consistent cuts. A served window report is bit-identical to a batch
+// Analyze/Streaming run over the same records. See DESIGN.md §8.
+type (
+	// QueryStore buckets ingested records and folds rolling windows.
+	QueryStore = query.Store
+	// QueryConfig configures the store: study context, bucket width,
+	// windows, snapshot directory, metrics registry.
+	QueryConfig = query.Config
+	// QueryWindow names one rolling window span.
+	QueryWindow = query.Window
+	// QueryServer is the HTTP face of a QueryStore.
+	QueryServer = query.Server
+	// SnapshotDir is a directory of rotated, atomically-written
+	// snapshot cuts with torn-cut-skipping restore.
+	SnapshotDir = snapshot.Dir
+)
+
+// NewQueryStore builds a query store; it validates that the bucket
+// width divides the study period and every window is a whole number of
+// buckets.
+func NewQueryStore(cfg QueryConfig) (*QueryStore, error) { return query.New(cfg) }
+
+// NewQueryServer mounts a store's HTTP surface: /report/<endpoint>,
+// /windows, /stats, /healthz, /readyz, plus /metrics and /debug when
+// reg is non-nil.
+func NewQueryServer(store *QueryStore, reg *MetricsRegistry) *QueryServer {
+	return query.NewServer(store, reg)
+}
+
+// DefaultQueryWindows returns the 24h/7d/90d rolling windows.
+func DefaultQueryWindows() []QueryWindow { return query.DefaultWindows() }
+
+// MarshalStreamReport renders a report exactly as the query service's
+// /report/full endpoint (and caranalyze -json) serves it, making
+// served and batch answers comparable byte for byte.
+func MarshalStreamReport(rep *StreamReport) ([]byte, error) { return query.MarshalReport(rep) }
+
+// MetricsRegistry is the stdlib-only labeled metrics registry behind
+// the CLIs' -debug-addr and the query service's /metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
 
 // ShardOfCar maps a car to one of n shards; partials over car-disjoint
 // shards merge into exactly the single-process result.

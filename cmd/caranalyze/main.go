@@ -42,6 +42,7 @@ import (
 	"cellcars/internal/drive"
 	"cellcars/internal/load"
 	"cellcars/internal/obs"
+	"cellcars/internal/query"
 	"cellcars/internal/radio"
 	"cellcars/internal/report"
 	"cellcars/internal/simtime"
@@ -59,6 +60,7 @@ func main() {
 		start   = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
 		tz      = flag.Int("tz", -5, "local-time offset from UTC in hours")
 		md      = flag.String("md", "", "also write a Markdown report to this file")
+		asJSON  = flag.Bool("json", false, "with -in: print the full report as JSON (the exact bytes carqueryd's /report/full serves) instead of tables")
 		stream  = flag.Bool("stream", false, "with -in: single-pass bounded-memory analysis")
 		workers = flag.Int("workers", 1, "parallel analysis workers (records sharded by car)")
 
@@ -217,6 +219,33 @@ func main() {
 		drive.PrintStats(os.Stdout, st)
 		fmt.Printf("wrote partial state of %d records (%d quarantined) to %s; merge with carmerge or run under cardrive\n",
 			st.Records, st.Quarantined, *partial)
+		return
+	}
+
+	if *asJSON {
+		// The byte-comparable batch twin of carqueryd: one untracked
+		// streaming pass with the daemon's options — no Obs, so the
+		// report carries no Profile timings — rendered through the
+		// same query.MarshalReport the daemon's /report/full uses.
+		if *in == "" {
+			fatal("-json needs -in (file mode)")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("open %s: %v", *in, err)
+		}
+		defer f.Close()
+		s := analysis.NewStreamingWithOptions(ctx, analysis.RunOptions{Seed: *seed, RareDays: rare})
+		rr := cdr.NewResilientReader(openReader(*in, f), ingest)
+		if err := s.AddAll(rr); err != nil {
+			fatal("stream %s: %v", *in, err)
+		}
+		srep := s.Finalize()
+		body, err := query.MarshalReport(&srep)
+		if err != nil {
+			fatal("marshal report: %v", err)
+		}
+		os.Stdout.Write(body)
 		return
 	}
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand/v2"
 	"os"
 	"os/exec"
@@ -11,9 +12,12 @@ import (
 	"testing"
 	"time"
 
+	"cellcars/internal/analysis"
 	"cellcars/internal/cdr"
 	"cellcars/internal/obs"
+	"cellcars/internal/query"
 	"cellcars/internal/radio"
+	"cellcars/internal/simtime"
 )
 
 // TestMain re-execs the test binary as the real caranalyze when
@@ -192,5 +196,50 @@ func TestProgressCurrentCountsQuarantined(t *testing.T) {
 	reg2.Counter("cellcars_engine_records_total", obs.Label{Key: "outcome", Value: "ghost"}).Add(30)
 	if got := cur2(); got != 100 {
 		t.Errorf("engine-side progress position = %d, want 100", got)
+	}
+}
+
+// TestJSONMatchesSharedRenderer pins the -json contract: the CLI's
+// stdout must be byte-for-byte what query.MarshalReport renders for a
+// plain streaming pass with the CLI's study options — that shared
+// renderer is what makes carqueryd's served reports comparable to a
+// batch run.
+func TestJSONMatchesSharedRenderer(t *testing.T) {
+	dir := t.TempDir()
+	data := cdrBytes(t, 20_000)
+	in := filepath.Join(dir, "cars.cdr")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := caranalyze("-json", "-in", in, "-days", "13", "-start", "2017-01-02",
+		"-seed", "1", "-tz", "-5").Output()
+	if err != nil {
+		t.Fatalf("caranalyze -json: %v", err)
+	}
+
+	startDay := time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC)
+	period := simtime.NewPeriod(startDay, 13)
+	ingest := cdr.ResilientConfig{
+		MaxBadFrac: 0.01,
+		MinStart:   period.Start().AddDate(0, 0, -7),
+		MaxStart:   period.End().AddDate(0, 0, 7),
+	}
+	ctx := analysis.Context{Period: period, TZOffsetSeconds: -5 * 3600}
+	s := analysis.NewStreamingWithOptions(ctx, analysis.RunOptions{Seed: 1, RareDays: []int{1, 4}})
+	rr := cdr.NewResilientReader(cdr.NewBinaryReader(bytes.NewReader(data)), ingest)
+	if err := s.AddAll(rr); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Finalize()
+	want, err := query.MarshalReport(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-json output differs from query.MarshalReport\ncli %d bytes, renderer %d bytes", len(got), len(want))
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
 	}
 }

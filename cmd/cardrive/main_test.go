@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+)
+
+// TestMain re-execs the test binary as the real cardrive when
+// CARDRIVE_MAIN=1, mirroring the caranalyze and carqueryd CLI
+// harnesses.
+func TestMain(m *testing.M) {
+	if os.Getenv("CARDRIVE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func cardrive(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CARDRIVE_MAIN=1")
+	return cmd
+}
+
+func buildWorker(t *testing.T, dir string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available to build caranalyze workers")
+	}
+	bin := filepath.Join(dir, "caranalyze")
+	cmd := exec.Command("go", "build", "-o", bin, "cellcars/cmd/caranalyze")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build caranalyze: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeWorkload(t *testing.T, path string, n int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cdr.NewBinaryWriter(f)
+	rng := rand.New(rand.NewPCG(3, 9))
+	start := time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		rec := cdr.Record{
+			Car: cdr.CarID(rng.Uint64N(400)),
+			Cell: radio.MakeCellKey(
+				radio.BSID(rng.Uint64N(40)),
+				radio.SectorID(rng.Uint64N(3)),
+				radio.C1+radio.CarrierID(rng.Uint64N(uint64(radio.NumCarriers)))),
+			Start:    start.Add(time.Duration(rng.Uint64N(7*24*3600)) * time.Second),
+			Duration: time.Duration(10+rng.Uint64N(900)) * time.Second,
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDebugAddrServesMetrics pins the coordinator's -debug-addr parity
+// with caranalyze: while a distributed run is in flight, the announced
+// address must serve Prometheus metrics, and the run must still finish
+// cleanly with a report on stdout.
+func TestDebugAddrServesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	worker := buildWorker(t, dir)
+	in := filepath.Join(dir, "cars.cdr")
+	writeWorkload(t, in, 120_000)
+
+	cmd := cardrive("-shards", "4", "-parallel", "2", "-worker", worker,
+		"-workdir", filepath.Join(dir, "work"), "-days", "7", "-q",
+		"-debug-addr", "127.0.0.1:0", in)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The banner goes to stderr before shard planning starts, so the
+	// run is guaranteed to still be in flight when we probe it.
+	const banner = "debug server on http://"
+	var addr string
+	var seen []string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		ln := sc.Text()
+		seen = append(seen, ln)
+		if i := strings.Index(ln, banner); i >= 0 {
+			addr = ln[i+len(banner):]
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Wait()
+		t.Fatalf("no debug-server banner on stderr:\n%s", strings.Join(seen, "\n"))
+	}
+	go io.Copy(io.Discard, stderr)
+
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics while run in flight: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "cellcars_") {
+		t.Fatalf("/metrics: status %d, body:\n%s", resp.StatusCode, body)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("cardrive run failed: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "== Preprocessing") {
+		t.Fatalf("no report on stdout:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,290 @@
+// Command carqueryd is the long-running query service over CDR
+// streams: it ingests records continuously into time-bucketed
+// accumulators and serves the paper's reports over rolling windows as
+// HTTP/JSON — per-cell busy-ness, segment mix, handover rates, fleet
+// usage — plus /healthz, /readyz, /stats and the standard obs surface
+// (/metrics, /debug/pprof).
+//
+//	carqueryd -start 2017-01-02 -days 90 -snapshots /var/lib/carqueryd day*.cdr
+//	curl localhost:8080/report/handovers?window=24h
+//
+// Durability: with -snapshots, the daemon writes consistent cuts of
+// every live bucket periodically and on SIGTERM, and a restart warm
+// starts from the newest valid cut, replaying only the post-watermark
+// tail of its inputs. A SIGTERM exit is graceful: final cut, then
+// exit 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
+	"cellcars/internal/query"
+	"cellcars/internal/simtime"
+	"cellcars/internal/snapshot"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+		start  = flag.String("start", "2017-01-02", "study start date (YYYY-MM-DD)")
+		days   = flag.Int("days", 90, "study length in days")
+		tz     = flag.Int("tz", -5, "local-time offset from UTC in hours")
+		seed   = flag.Uint64("seed", 1, "seed")
+
+		bucket  = flag.String("bucket", "1h", "accumulator bucket width (must divide the study period)")
+		windows = flag.String("windows", "24h,7d,90d", "comma-separated rolling windows (h/m/s suffixes or Nd days); each must be a multiple of the bucket")
+
+		snapshots = flag.String("snapshots", "", "snapshot directory for durable cuts (empty: no durability)")
+		snapEvery = flag.Int64("snapshot-every", 1_000_000, "records between periodic cuts (0: cut only at EOF and on shutdown)")
+		keep      = flag.Int("keep", 3, "rotated cuts to retain in -snapshots")
+
+		strict     = flag.Bool("strict", false, "abort on the first malformed record")
+		quarantine = flag.String("quarantine", "", "write quarantined records to this file (TSV)")
+		budget     = flag.Float64("budget", 1.0, "error budget, max % of malformed records before aborting (0 aborts on the first, negative disables)")
+	)
+	flag.Parse()
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		fatal("no input files (give CDR files as positional arguments)")
+	}
+
+	startDay, err := time.Parse("2006-01-02", *start)
+	if err != nil {
+		fatal("bad -start date: %v", err)
+	}
+	period := simtime.NewPeriod(startDay, *days)
+	width, err := parseSpan(*bucket)
+	if err != nil {
+		fatal("bad -bucket: %v", err)
+	}
+	wins, err := parseWindows(*windows)
+	if err != nil {
+		fatal("bad -windows: %v", err)
+	}
+
+	reg := obs.New()
+	// Resilient ingest, mirroring caranalyze: malformed records are
+	// quarantined within an error budget, and far-out-of-window dates
+	// are treated as corrupt.
+	ingest := cdr.ResilientConfig{
+		Strict:     *strict || *budget == 0,
+		MaxBadFrac: *budget / 100,
+		MinStart:   period.Start().AddDate(0, 0, -7),
+		MaxStart:   period.End().AddDate(0, 0, 7),
+		Obs:        reg,
+	}
+	if *quarantine != "" {
+		qf, err := os.Create(*quarantine)
+		if err != nil {
+			fatal("open quarantine file: %v", err)
+		}
+		qw := cdr.NewQuarantineWriter(qf)
+		ingest.Sink = qw
+		defer func() {
+			qw.Close()
+			qf.Close()
+		}()
+	}
+
+	var dir *snapshot.Dir
+	if *snapshots != "" {
+		dir = &snapshot.Dir{Path: *snapshots, Keep: *keep}
+	}
+
+	ctx := analysis.Context{Period: period, TZOffsetSeconds: *tz * 3600}
+	// Rare-day thresholds scale with the study length exactly as
+	// caranalyze's do, so served reports and batch reports agree.
+	rare := []int{max(1, *days/9), max(2, *days/3)}
+	store, err := query.New(query.Config{
+		Ctx:       ctx,
+		Opts:      analysis.RunOptions{Seed: *seed, RareDays: rare},
+		Bucket:    width,
+		Windows:   wins,
+		Snapshots: dir,
+		Obs:       reg,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// Warm restart: restore the newest valid cut, then replay only the
+	// post-watermark tail of the inputs.
+	var watermark int64
+	if dir != nil {
+		wm, ok, err := store.Restore()
+		if err != nil {
+			fatal("restore from %s: %v", dir.Path, err)
+		}
+		if ok {
+			watermark = wm
+			fmt.Printf("carqueryd: warm restart from %s at watermark %d\n", dir.Path, wm)
+		}
+	}
+
+	srv := query.NewServer(store, reg)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("listen %s: %v", *listen, err)
+	}
+	// The test harness and operators parse this line for the bound
+	// address, so it goes out before ingest starts.
+	fmt.Printf("carqueryd: listening on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, srv); err != nil && !errors.Is(err, net.ErrClosed) {
+			fatal("http: %v", err)
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	shutdown := func(when string) {
+		if dir != nil {
+			if seq, err := store.Checkpoint(); err != nil {
+				fatal("final cut: %v", err)
+			} else {
+				fmt.Printf("carqueryd: %s; state saved to %s (cut %d, watermark %d)\n",
+					when, dir.Path, seq, store.Watermark())
+			}
+		} else {
+			fmt.Printf("carqueryd: %s\n", when)
+		}
+		os.Exit(0)
+	}
+
+	rr := cdr.NewResilientReader(openInputs(inputs), ingest)
+	if watermark > 0 {
+		if err := cdr.Skip(rr, watermark); err != nil {
+			fatal("skip %d replayed records: %v", watermark, err)
+		}
+	}
+	srv.SetReady(true)
+
+	var sinceCut int64
+	for {
+		select {
+		case <-sigc:
+			shutdown("terminated mid-ingest")
+		default:
+		}
+		rec, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			fatal("ingest: %v", err)
+		}
+		store.Add(rec)
+		sinceCut++
+		if dir != nil && *snapEvery > 0 && sinceCut >= *snapEvery {
+			if _, err := store.Checkpoint(); err != nil {
+				fatal("periodic cut: %v", err)
+			}
+			sinceCut = 0
+		}
+	}
+	if dir != nil {
+		if _, err := store.Checkpoint(); err != nil {
+			fatal("cut at EOF: %v", err)
+		}
+	}
+	istats := rr.Stats()
+	fmt.Printf("carqueryd: drained %d records (%d quarantined); serving\n",
+		store.Watermark(), istats.QuarantinedTotal())
+
+	<-sigc
+	shutdown("terminated")
+}
+
+// openInputs concatenates the input files in argument order, picking
+// each codec by extension. Files are opened lazily so a long replay
+// does not hold every descriptor at once.
+func openInputs(paths []string) cdr.Reader {
+	readers := make([]cdr.Reader, len(paths))
+	for i, path := range paths {
+		readers[i] = &lazyFileReader{path: path}
+	}
+	return cdr.Concat(readers...)
+}
+
+type lazyFileReader struct {
+	path string
+	f    *os.File
+	r    cdr.Reader
+}
+
+func (l *lazyFileReader) Read() (cdr.Record, error) {
+	if l.r == nil {
+		f, err := os.Open(l.path)
+		if err != nil {
+			return cdr.Record{}, err
+		}
+		l.f = f
+		if strings.HasSuffix(l.path, ".csv") {
+			l.r = cdr.NewCSVReader(f)
+		} else {
+			l.r = cdr.NewBinaryReader(f)
+		}
+	}
+	rec, err := l.r.Read()
+	if errors.Is(err, io.EOF) {
+		l.f.Close()
+	}
+	return rec, err
+}
+
+// parseSpan parses a duration with the usual h/m/s suffixes plus an
+// Nd day form, which time.ParseDuration lacks.
+func parseSpan(s string) (time.Duration, error) {
+	if n, ok := strings.CutSuffix(s, "d"); ok && !strings.ContainsAny(n, "hms") {
+		days, err := time.ParseDuration(n + "h")
+		if err != nil {
+			return 0, fmt.Errorf("bad span %q", s)
+		}
+		return days * 24, nil
+	}
+	return time.ParseDuration(s)
+}
+
+func parseWindows(spec string) ([]query.Window, error) {
+	var out []query.Window
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		span, err := parseSpan(tok)
+		if err != nil {
+			return nil, fmt.Errorf("window %q: %v", tok, err)
+		}
+		out = append(out, query.Window{Name: tok, Span: span})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no windows")
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "carqueryd: "+format+"\n", args...)
+	os.Exit(1)
+}

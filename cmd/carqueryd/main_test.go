@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
+)
+
+// TestMain re-execs the test binary as the real carqueryd when
+// CARQUERYD_MAIN=1, so the e2e tests drive main() end to end — flag
+// parsing, HTTP serving, signal handling, exit codes — without
+// building a separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("CARQUERYD_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func carqueryd(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CARQUERYD_MAIN=1")
+	return cmd
+}
+
+// e2eRecords builds a deterministic workload satisfying the ordered
+// fold's exactness precondition: every car's records form a
+// non-overlapping chain, and the stream is sorted by start time. Gap
+// choices straddle both sessionizer thresholds, and a sprinkle of
+// ghost-length records exercises the drop path.
+func e2eRecords(n int) []cdr.Record {
+	start := time.Date(2017, 3, 6, 0, 0, 0, 0, time.UTC)
+	end := start.Add(24 * time.Hour)
+	rng := rand.New(rand.NewPCG(11, 23))
+	gaps := []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second, 2 * time.Minute,
+		5 * time.Minute, 10 * time.Minute, 20 * time.Minute, 2 * time.Hour}
+	next := make(map[cdr.CarID]time.Time)
+	var recs []cdr.Record
+	for attempts := 0; len(recs) < n && attempts < 20*n; attempts++ {
+		car := cdr.CarID(rng.Uint64N(120))
+		at, ok := next[car]
+		if !ok {
+			at = start.Add(time.Duration(rng.Uint64N(3600)) * time.Second)
+		}
+		if !at.Before(end) {
+			continue
+		}
+		dur := time.Duration(10+rng.Uint64N(590)) * time.Second
+		if rng.Uint64N(200) == 0 {
+			dur = 90 * time.Minute // ghost: dropped by every stage, still counted raw
+		}
+		if at.Add(dur).After(end) {
+			next[car] = end
+			continue
+		}
+		recs = append(recs, cdr.Record{
+			Car: car,
+			Cell: radio.MakeCellKey(
+				radio.BSID(rng.Uint64N(30)),
+				radio.SectorID(rng.Uint64N(3)),
+				radio.C1+radio.CarrierID(rng.Uint64N(uint64(radio.NumCarriers)))),
+			Start:    at,
+			Duration: dur,
+		})
+		next[car] = at.Add(dur + gaps[rng.Uint64N(uint64(len(gaps)))])
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	return recs
+}
+
+func writeCDR(t *testing.T, path string, recs []cdr.Record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cdr.NewBinaryWriter(f)
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildCaranalyze compiles the real batch CLI so the e2e comparison is
+// genuinely cross-binary: carqueryd's served bytes against caranalyze
+// -json's stdout, not two calls into the same process.
+func buildCaranalyze(t *testing.T, dir string) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available to build caranalyze")
+	}
+	bin := filepath.Join(dir, "caranalyze")
+	cmd := exec.Command("go", "build", "-o", bin, "cellcars/cmd/caranalyze")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build caranalyze: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon wraps one carqueryd child process.
+type daemon struct {
+	cmd   *exec.Cmd
+	addr  string
+	boot  []string // stdout lines seen before the listening banner
+	lines <-chan string
+}
+
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	cmd := carqueryd(args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	d := &daemon{cmd: cmd, lines: lines}
+	deadline := time.After(30 * time.Second)
+	const banner = "listening on http://"
+	for d.addr == "" {
+		select {
+		case ln, ok := <-lines:
+			if !ok {
+				cmd.Wait()
+				t.Fatalf("carqueryd exited before listening; output:\n%s", strings.Join(d.boot, "\n"))
+			}
+			if i := strings.Index(ln, banner); i >= 0 {
+				d.addr = ln[i+len(banner):]
+			} else {
+				d.boot = append(d.boot, ln)
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("timeout waiting for carqueryd to listen")
+		}
+	}
+	return d
+}
+
+// terminate sends SIGTERM and expects a graceful zero exit.
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("carqueryd did not exit cleanly on SIGTERM: %v", err)
+	}
+}
+
+func (d *daemon) get(t *testing.T, path string) (int, []byte) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + d.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// waitDrained polls /stats until the ingest watermark reaches want.
+func (d *daemon) waitDrained(t *testing.T, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := d.get(t, "/stats")
+		if code == http.StatusOK {
+			var st struct {
+				Records int64 `json:"records"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatalf("bad /stats body: %v\n%s", err, body)
+			}
+			if st.Records == want {
+				return
+			}
+			if st.Records > want {
+				t.Fatalf("/stats records %d, want at most %d", st.Records, want)
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %d ingested records", want)
+}
+
+// TestServedReportBitIdenticalToBatch is the tentpole acceptance test:
+// a 24h-window report served over HTTP must be byte-identical to a
+// caranalyze batch run over the same records — before AND after a
+// SIGTERM kill plus warm restart from the snapshot directory with a
+// tail of new input replayed on top.
+func TestServedReportBitIdenticalToBatch(t *testing.T) {
+	dir := t.TempDir()
+	recs := e2eRecords(5000)
+	if len(recs) < 4000 {
+		t.Fatalf("workload generator produced only %d records", len(recs))
+	}
+	cut := 2 * len(recs) / 3
+	all := filepath.Join(dir, "all.cdr")
+	part1 := filepath.Join(dir, "part1.cdr")
+	part2 := filepath.Join(dir, "part2.cdr")
+	writeCDR(t, all, recs)
+	writeCDR(t, part1, recs[:cut])
+	writeCDR(t, part2, recs[cut:])
+
+	study := []string{"-start", "2017-03-06", "-days", "1", "-tz", "-5", "-seed", "1"}
+	bin := buildCaranalyze(t, dir)
+	batch := func(in string) []byte {
+		cmd := exec.Command(bin, append([]string{"-json", "-in", in}, study...)...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("caranalyze -json %s: %v", in, err)
+		}
+		return out
+	}
+	wantFull := batch(all)
+	wantPart := batch(part1)
+
+	snaps := filepath.Join(dir, "snaps")
+	daemonArgs := func(inputs ...string) []string {
+		args := append([]string{"-listen", "127.0.0.1:0", "-bucket", "1h", "-windows", "24h",
+			"-snapshots", snaps, "-snapshot-every", "1500"}, study...)
+		return append(args, inputs...)
+	}
+
+	// Run 1: ingest the first two thirds, check the served report
+	// against batch over the same partial input, then kill -TERM.
+	d := startDaemon(t, daemonArgs(part1)...)
+	if code, body := d.get(t, "/healthz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	d.waitDrained(t, int64(cut))
+	if code, body := d.get(t, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after drain: %d %q", code, body)
+	}
+	if code, got := d.get(t, "/report/full?window=24h"); code != http.StatusOK {
+		t.Fatalf("/report/full: %d", code)
+	} else if !bytes.Equal(got, wantPart) {
+		t.Fatalf("served partial report differs from caranalyze -json over part1\nserved %d bytes, batch %d bytes\n%s",
+			len(got), len(wantPart), firstDiff(got, wantPart))
+	}
+	d.terminate(t)
+
+	cuts, err := filepath.Glob(filepath.Join(snaps, "cut-*.snap"))
+	if err != nil || len(cuts) == 0 {
+		t.Fatalf("no cuts in snapshot dir after SIGTERM (err %v)", err)
+	}
+
+	// Run 2: warm restart from the snapshot, replay only the tail of
+	// part1 (nothing — it is fully covered by the watermark) plus
+	// part2, and serve the full-input answer.
+	d = startDaemon(t, daemonArgs(part1, part2)...)
+	boot := strings.Join(d.boot, "\n")
+	if !strings.Contains(boot, "warm restart") {
+		t.Fatalf("restarted daemon did not warm restart; boot lines:\n%s", boot)
+	}
+	if !strings.Contains(boot, fmt.Sprintf("watermark %d", cut)) {
+		t.Fatalf("warm restart watermark is not %d; boot lines:\n%s", cut, boot)
+	}
+	d.waitDrained(t, int64(len(recs)))
+	code, got := d.get(t, "/report/full?window=24h")
+	if code != http.StatusOK {
+		t.Fatalf("/report/full after restart: %d", code)
+	}
+	if !bytes.Equal(got, wantFull) {
+		t.Fatalf("served report after warm restart differs from caranalyze -json over all records\nserved %d bytes, batch %d bytes\n%s",
+			len(got), len(wantFull), firstDiff(got, wantFull))
+	}
+
+	// The obs surface rides along on the same listener.
+	if code, body := d.get(t, "/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(body), "cellcars_query_records_total") {
+		t.Fatalf("/metrics missing query counters: %d", code)
+	}
+	d.terminate(t)
+}
+
+// TestDaemonRejectsBadFlags covers the fail-fast paths: they must
+// exit non-zero with a diagnostic, not serve garbage.
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.cdr")
+	writeCDR(t, in, e2eRecords(10))
+	for _, tc := range [][]string{
+		{},                          // no inputs
+		{"-bucket", "nope", in},     // bad bucket
+		{"-windows", "90m", in},     // window not a multiple of the bucket
+		{"-start", "back-then", in}, // bad date
+	} {
+		cmd := carqueryd(tc...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("carqueryd %v exited zero; output:\n%s", tc, out)
+		}
+	}
+}
+
+// firstDiff renders the first few differing lines of two JSON bodies,
+// so a mismatch failure is debuggable.
+func firstDiff(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("first diff at line %d:\n  served: %s\n  batch:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("bodies diverge in length: %d vs %d lines", len(al), len(bl))
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"cellcars/internal/analysis"
+)
+
+// Regression mode (-baseline): re-run the committed baseline's exact
+// workload — record count, rep count and worker ladder all come from
+// the baseline file, never from flags — and fail when fresh throughput
+// falls short by more than the noise either measurement carries.
+//
+// The gate for each worker count is
+//
+//	max(baseline spread, fresh spread) + floor
+//
+// in percent: a slowdown claim, like the speedup claims in the main
+// benchmark, must clear the rep-to-rep spread of BOTH runs before it
+// means anything, and the floor adds slack for cross-run drift that
+// within-run spread cannot see. Comparisons are only meaningful on the
+// hardware that produced the baseline, so a GOMAXPROCS or NumCPU
+// mismatch skips the check (exit 0 with a warning) instead of failing
+// CI on every laptop.
+
+// regression is one worker count whose fresh throughput fell beyond
+// the noise gate.
+type regression struct {
+	Workers     int
+	BaseRPS     float64
+	FreshRPS    float64
+	SlowdownPct float64
+	GatePct     float64
+}
+
+// compareRuns matches fresh rows to baseline rows by worker count and
+// returns the regressions. Rows with fewer than two reps on either
+// side are skipped (no spread, no gate) and reported in skipped.
+func compareRuns(base, fresh []workerRun, floorPct float64) (regs []regression, skipped []int) {
+	freshBy := make(map[int]workerRun, len(fresh))
+	for _, f := range fresh {
+		freshBy[f.Workers] = f
+	}
+	for _, b := range base {
+		f, ok := freshBy[b.Workers]
+		if !ok {
+			continue
+		}
+		if len(b.RepSeconds) < 2 || len(f.RepSeconds) < 2 {
+			skipped = append(skipped, b.Workers)
+			continue
+		}
+		if b.RecordsPerSec <= 0 {
+			skipped = append(skipped, b.Workers)
+			continue
+		}
+		slowdown := (b.RecordsPerSec - f.RecordsPerSec) / b.RecordsPerSec * 100
+		gate := max(b.SpreadPct, f.SpreadPct) + floorPct
+		if slowdown > gate {
+			regs = append(regs, regression{
+				Workers:     b.Workers,
+				BaseRPS:     b.RecordsPerSec,
+				FreshRPS:    f.RecordsPerSec,
+				SlowdownPct: slowdown,
+				GatePct:     gate,
+			})
+		}
+	}
+	return regs, skipped
+}
+
+// runRegress is the -baseline entry point; it returns the process
+// exit code.
+func runRegress(path string, floorPct float64) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enginebench: read baseline: %v\n", err)
+		return 1
+	}
+	var base result
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "enginebench: parse baseline %s: %v\n", path, err)
+		return 1
+	}
+	if len(base.Runs) == 0 || base.Records <= 0 {
+		fmt.Fprintf(os.Stderr, "enginebench: baseline %s has no runs\n", path)
+		return 1
+	}
+	if g, c := runtime.GOMAXPROCS(0), runtime.NumCPU(); g != base.GOMAXPROCS || c != base.NumCPU {
+		fmt.Printf("enginebench: SKIP regression check: baseline was measured on gomaxprocs=%d numcpu=%d, this host is gomaxprocs=%d numcpu=%d\n",
+			base.GOMAXPROCS, base.NumCPU, g, c)
+		return 0
+	}
+
+	counts := make([]int, 0, len(base.Runs))
+	for _, r := range base.Runs {
+		counts = append(counts, r.Workers)
+	}
+	fmt.Printf("regression check against %s: %d records, %d reps, workers %v, floor %.1f%%\n",
+		path, base.Records, base.Reps, counts, floorPct)
+
+	records := genWorkload(base.Records)
+	ctx := benchContext()
+	opts := analysis.RunOptions{BusyCells: benchBusyCells(), Seed: 1, RareDays: []int{2, 5}}
+	fresh, _, err := runWorkerBench(records, ctx, opts, counts, base.Reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enginebench: %v\n", err)
+		return 1
+	}
+
+	regs, skipped := compareRuns(base.Runs, fresh, floorPct)
+	for _, w := range skipped {
+		fmt.Printf("workers=%d: skipped (needs >=2 reps on both sides for a noise gate)\n", w)
+	}
+	if len(regs) == 0 {
+		fmt.Println("no regression: fresh throughput within noise of the baseline")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION workers=%d: %.0f records/sec vs baseline %.0f (%.1f%% slower, gate %.1f%%)\n",
+			r.Workers, r.FreshRPS, r.BaseRPS, r.SlowdownPct, r.GatePct)
+	}
+	return 1
+}

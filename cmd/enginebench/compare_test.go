@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchRow(workers int, rps, spread float64, reps int) workerRun {
+	secs := make([]float64, reps)
+	for i := range secs {
+		secs[i] = 1
+	}
+	return workerRun{Workers: workers, RecordsPerSec: rps, SpreadPct: spread, RepSeconds: secs, Valid: true}
+}
+
+func TestCompareRunsGatesOnNoise(t *testing.T) {
+	base := []workerRun{benchRow(1, 1000, 4, 3), benchRow(4, 3000, 10, 3)}
+
+	// 8% slower at workers=1: clears max(4,2)+5=9? No — 8 < 9, within gate.
+	fresh := []workerRun{benchRow(1, 920, 2, 3), benchRow(4, 2900, 3, 3)}
+	if regs, _ := compareRuns(base, fresh, 5); len(regs) != 0 {
+		t.Fatalf("within-noise slowdown flagged: %+v", regs)
+	}
+
+	// 20% slower at workers=1 clears the 9%% gate; workers=4 is 3.3%
+	// slower, within its 15% gate.
+	fresh = []workerRun{benchRow(1, 800, 2, 3), benchRow(4, 2900, 3, 3)}
+	regs, _ := compareRuns(base, fresh, 5)
+	if len(regs) != 1 || regs[0].Workers != 1 {
+		t.Fatalf("want one regression at workers=1, got %+v", regs)
+	}
+	if regs[0].SlowdownPct < 19.9 || regs[0].SlowdownPct > 20.1 {
+		t.Fatalf("slowdown = %.2f%%, want ~20%%", regs[0].SlowdownPct)
+	}
+	if regs[0].GatePct != 9 {
+		t.Fatalf("gate = %.2f%%, want 9%% (max(4,2)+5)", regs[0].GatePct)
+	}
+
+	// A noisy fresh run raises its own gate: 20% slower but 30% spread
+	// on the fresh side is not a claim.
+	noisy := []workerRun{benchRow(1, 800, 30, 3), benchRow(4, 3000, 3, 3)}
+	if regs, _ := compareRuns(base, noisy, 5); len(regs) != 0 {
+		t.Fatalf("slowdown within fresh spread flagged: %+v", regs)
+	}
+}
+
+func TestCompareRunsSkipsUngatable(t *testing.T) {
+	base := []workerRun{benchRow(1, 1000, 0, 1), benchRow(4, 3000, 5, 3)}
+	fresh := []workerRun{benchRow(1, 500, 0, 1), benchRow(4, 1000, 2, 3)}
+	regs, skipped := compareRuns(base, fresh, 5)
+	if len(skipped) != 1 || skipped[0] != 1 {
+		t.Fatalf("single-rep row not skipped: %v", skipped)
+	}
+	if len(regs) != 1 || regs[0].Workers != 4 {
+		t.Fatalf("want regression at workers=4 only, got %+v", regs)
+	}
+	// Worker counts absent from the fresh run are ignored, not fatal.
+	if regs, _ := compareRuns(base, fresh[:1], 5); len(regs) != 0 {
+		t.Fatalf("missing fresh rows produced regressions: %+v", regs)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	res := result{
+		Records: 50000, Reps: 3, GOMAXPROCS: 1, NumCPU: 1,
+		Runs: []workerRun{
+			{Workers: 1, Seconds: 2.0, RecordsPerSec: 25000, Speedup: 1, SpreadPct: 3.5, Valid: true},
+			{Workers: 4, Seconds: 1.9, RecordsPerSec: 26315, Speedup: 1.05, SpreadPct: 13, Valid: false},
+		},
+		Checkpoint: &checkpointRun{Workers: 4, Every: 20000, Checkpoints: 2,
+			SecondsOff: 2.0, SecondsOn: 2.2, OverheadPct: 10, SpreadPct: 4, Valid: true},
+		Obs: &obsRun{Workers: 4, SecondsOff: 2.0, SecondsOn: 2.1, OverheadPct: 5, SpreadPct: 8, Valid: false},
+	}
+	md := renderMarkdown(res)
+	for _, want := range []string{
+		"| workers | best (s) | records/sec | speedup | spread |",
+		"| 1 | 2.00 | 25000 | 1.00x | 3.5% |",
+		"| 4 | 1.90 | 26315 | ~~1.05x~~ (noise) | 13.0% |",
+		"Checkpointing every 20000 records (workers=4)",
+		"overhead 10.0% (spread 4.0%, 2 checkpoints)",
+		"overhead ~~5.0%~~ (noise) (spread 8.0%)",
+		"50000 records, best of 3 reps, GOMAXPROCS 1, 1 CPUs.",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -58,8 +58,27 @@ func main() {
 		out        = flag.String("out", "BENCH_engine.json", "output JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+		basePath   = flag.String("baseline", "", "regression mode: re-run the baseline file's workload and exit 1 when throughput regressed beyond noise (skips when the hardware differs)")
+		floor      = flag.Float64("regress-floor", 5, "with -baseline: extra slowdown %% tolerated on top of the rep-spread noise gate")
+		mdOut      = flag.Bool("md", false, "render the JSON at -out as a Markdown table on stdout and exit (no benchmark run)")
 	)
 	flag.Parse()
+
+	if *mdOut {
+		buf, err := os.ReadFile(*out)
+		if err != nil {
+			fatal("read %s: %v", *out, err)
+		}
+		var res result
+		if err := json.Unmarshal(buf, &res); err != nil {
+			fatal("parse %s: %v", *out, err)
+		}
+		fmt.Print(renderMarkdown(res))
+		return
+	}
+	if *basePath != "" {
+		os.Exit(runRegress(*basePath, *floor))
+	}
 
 	counts, err := parseWorkers(*workers)
 	if err != nil {
@@ -89,53 +108,11 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 	}
 
-	var baseline *analysis.Report
-	var baseSec float64
-	var baseReps []float64
-	for _, w := range counts {
-		e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: w})
-		best := 0.0
-		repSecs := make([]float64, 0, *reps)
-		var rep *analysis.Report
-		for r := 0; r < *reps; r++ {
-			t0 := time.Now()
-			rep, err = e.Run(records)
-			sec := time.Since(t0).Seconds()
-			if err != nil {
-				fatal("workers=%d: %v", w, err)
-			}
-			repSecs = append(repSecs, sec)
-			if best == 0 || sec < best {
-				best = sec
-			}
-		}
-		if len(rep.StageErrors) != 0 {
-			fatal("workers=%d: stage errors: %+v", w, rep.StageErrors)
-		}
-		if baseline == nil {
-			baseline, baseSec, baseReps = rep, best, repSecs
-		} else if !reflect.DeepEqual(baseline, rep) {
-			fatal("workers=%d: report differs from workers=%d — determinism broken", w, counts[0])
-		}
-		run := workerRun{
-			Workers:       w,
-			Seconds:       round3(best),
-			RepSeconds:    roundAll(repSecs),
-			SpreadPct:     round3(spreadPct(repSecs)),
-			RecordsPerSec: round3(float64(len(records)) / best),
-			Speedup:       round3(baseSec / best),
-		}
-		// The speedup claim must clear the noise of both the run it is
-		// made from and the baseline it is made against. The workers=1
-		// row claims nothing beyond its own timing, so only the
-		// reps>=2 requirement applies.
-		noise := max(spreadPct(repSecs), spreadPct(baseReps))
-		effect := math.Abs(run.Speedup-1) * 100
-		run.Valid = *reps >= 2 && (w == 1 || effect > noise)
-		res.Runs = append(res.Runs, run)
-		fmt.Printf("workers=%d: %.2fs, %.0f records/sec, speedup %.2fx (spread %.1f%%)%s\n",
-			w, run.Seconds, run.RecordsPerSec, run.Speedup, run.SpreadPct, validNote(run.Valid))
+	runs, baseline, err := runWorkerBench(records, ctx, opts, counts, *reps)
+	if err != nil {
+		fatal("%v", err)
 	}
+	res.Runs = runs
 
 	if *ckptEvery > 0 {
 		cr, err := benchCheckpoint(records, ctx, opts, counts[len(counts)-1], *reps, *ckptEvery, baseline)
@@ -180,6 +157,64 @@ func main() {
 		fatal("write %s: %v", *out, err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runWorkerBench runs the full engine at each worker count (best of
+// reps timed runs), verifying every parallel report bit-identical to
+// the sequential one, and returns the result rows plus the sequential
+// report (the baseline the overhead sections verify against).
+func runWorkerBench(records []cdr.Record, ctx analysis.Context, opts analysis.RunOptions,
+	counts []int, reps int) ([]workerRun, *analysis.Report, error) {
+	var runs []workerRun
+	var baseline *analysis.Report
+	var baseSec float64
+	var baseReps []float64
+	for _, w := range counts {
+		e := analysis.NewEngine(ctx, analysis.EngineOptions{RunOptions: opts, Workers: w})
+		best := 0.0
+		repSecs := make([]float64, 0, reps)
+		var rep *analysis.Report
+		var err error
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			rep, err = e.Run(records)
+			sec := time.Since(t0).Seconds()
+			if err != nil {
+				return nil, nil, fmt.Errorf("workers=%d: %w", w, err)
+			}
+			repSecs = append(repSecs, sec)
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		if len(rep.StageErrors) != 0 {
+			return nil, nil, fmt.Errorf("workers=%d: stage errors: %+v", w, rep.StageErrors)
+		}
+		if baseline == nil {
+			baseline, baseSec, baseReps = rep, best, repSecs
+		} else if !reflect.DeepEqual(baseline, rep) {
+			return nil, nil, fmt.Errorf("workers=%d: report differs from workers=%d — determinism broken", w, counts[0])
+		}
+		run := workerRun{
+			Workers:       w,
+			Seconds:       round3(best),
+			RepSeconds:    roundAll(repSecs),
+			SpreadPct:     round3(spreadPct(repSecs)),
+			RecordsPerSec: round3(float64(len(records)) / best),
+			Speedup:       round3(baseSec / best),
+		}
+		// The speedup claim must clear the noise of both the run it is
+		// made from and the baseline it is made against. The workers=1
+		// row claims nothing beyond its own timing, so only the
+		// reps>=2 requirement applies.
+		noise := max(spreadPct(repSecs), spreadPct(baseReps))
+		effect := math.Abs(run.Speedup-1) * 100
+		run.Valid = reps >= 2 && (w == 1 || effect > noise)
+		runs = append(runs, run)
+		fmt.Printf("workers=%d: %.2fs, %.0f records/sec, speedup %.2fx (spread %.1f%%)%s\n",
+			w, run.Seconds, run.RecordsPerSec, run.Speedup, run.SpreadPct, validNote(run.Valid))
+	}
+	return runs, baseline, nil
 }
 
 // result is the BENCH_engine.json schema.

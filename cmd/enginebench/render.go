@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderMarkdown turns a BENCH_engine.json result into the Markdown
+// tables embedded in the README's Results section. Invalid rows keep
+// their numbers but are flagged, so a reader never mistakes noise for
+// a measured effect.
+func renderMarkdown(res result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d records, best of %d reps, GOMAXPROCS %d, %d CPUs.\n\n",
+		res.Records, res.Reps, res.GOMAXPROCS, res.NumCPU)
+	b.WriteString("| workers | best (s) | records/sec | speedup | spread |\n")
+	b.WriteString("|--:|--:|--:|--:|--:|\n")
+	for _, r := range res.Runs {
+		fmt.Fprintf(&b, "| %d | %.2f | %.0f | %s | %.1f%% |\n",
+			r.Workers, r.Seconds, r.RecordsPerSec, validCell(fmt.Sprintf("%.2fx", r.Speedup), r.Valid), r.SpreadPct)
+	}
+	if res.Checkpoint != nil {
+		c := res.Checkpoint
+		fmt.Fprintf(&b, "\nCheckpointing every %d records (workers=%d): %.2fs off vs %.2fs on, overhead %s (spread %.1f%%, %d checkpoints).\n",
+			c.Every, c.Workers, c.SecondsOff, c.SecondsOn,
+			validCell(fmt.Sprintf("%.1f%%", c.OverheadPct), c.Valid), c.SpreadPct, c.Checkpoints)
+	}
+	if res.Obs != nil {
+		o := res.Obs
+		fmt.Fprintf(&b, "\nObservability (workers=%d): %.2fs off vs %.2fs on, overhead %s (spread %.1f%%).\n",
+			o.Workers, o.SecondsOff, o.SecondsOn,
+			validCell(fmt.Sprintf("%.1f%%", o.OverheadPct), o.Valid), o.SpreadPct)
+	}
+	return b.String()
+}
+
+// validCell renders a claimed effect, striking it through with a
+// marker when the measurement did not clear its noise floor.
+func validCell(s string, valid bool) string {
+	if valid {
+		return s
+	}
+	return "~~" + s + "~~ (noise)"
+}

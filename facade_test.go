@@ -2,12 +2,15 @@ package cellcars_test
 
 import (
 	"bytes"
+	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"cellcars"
 	"cellcars/internal/cdr"
+	"cellcars/internal/radio"
 )
 
 // facadeScene builds a tiny scene for exercising the public surface.
@@ -226,5 +229,73 @@ func TestFacadeStreaming(t *testing.T) {
 	}
 	if diff := rep.Connected.FullMean - batch.Connected.FullMean; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("full mean: stream %v vs batch %v", rep.Connected.FullMean, batch.Connected.FullMean)
+	}
+}
+
+// TestFacadeQueryService drives the query surface through the public
+// package alone: store, server, window report, and the bit-identity
+// with a batch streaming run.
+func TestFacadeQueryService(t *testing.T) {
+	// Bit-identity between a window fold and a batch run holds under
+	// the ordered-merge precondition (per-car chains, no overlap —
+	// see internal/analysis/ordered.go), so the workload here is a
+	// deterministic chain stream rather than the raw fault-injected
+	// scene, whose stuck-teardown records overlap on purpose.
+	ctx := cellcars.Context{Period: cellcars.NewPeriod(time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC), 14), TZOffsetSeconds: -5 * 3600}
+	var records []cellcars.Record
+	for car := cellcars.CarID(0); car < 60; car++ {
+		at := ctx.Period.Start().Add(time.Duration(car) * 7 * time.Minute)
+		for i := 0; i < 40; i++ {
+			dur := time.Duration(30+int(car)*5+i*11) * time.Second
+			records = append(records, cellcars.Record{
+				Car:      car,
+				Cell:     radio.MakeCellKey(radio.BSID(uint64(car+cellcars.CarID(i))%25), radio.SectorID(i%3), radio.C1),
+				Start:    at,
+				Duration: dur,
+			})
+			at = at.Add(dur + time.Duration(10+i*97)*time.Second)
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Start.Before(records[j].Start) })
+
+	store, err := cellcars.NewQueryStore(cellcars.QueryConfig{
+		Ctx:     ctx,
+		Windows: []cellcars.QueryWindow{{Name: "14d", Span: 14 * 24 * time.Hour}},
+		Obs:     cellcars.NewMetricsRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		store.Add(r)
+	}
+	served, err := store.Report("full", "14d")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := cellcars.NewStreamingWithOptions(ctx, cellcars.AnalyzeOptions{})
+	if err := s.AddAll(cellcars.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Finalize()
+	want, err := cellcars.MarshalStreamReport(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatalf("served window report differs from batch (%d vs %d bytes)", len(served), len(want))
+	}
+
+	srv := cellcars.NewQueryServer(store, nil)
+	srv.SetReady(true)
+	req := httptest.NewRequest("GET", "/report/summary?window=14d", nil)
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "\"records\"") {
+		t.Fatalf("/report/summary: %d %s", rr.Code, rr.Body.String())
+	}
+	if len(cellcars.DefaultQueryWindows()) != 3 {
+		t.Fatal("DefaultQueryWindows should offer 24h/7d/90d")
 	}
 }

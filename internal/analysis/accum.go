@@ -615,6 +615,11 @@ type handoverAcc struct {
 	z        *clean.Sessionizer
 	byKind   map[radio.HandoverKind]int64
 	counts   []float64
+	// trackHeads defers accounting of each car's first closed session
+	// into heads, keeping it stitchable by MergeOrdered (see
+	// ordered.go). Nil heads means tracking is off.
+	trackHeads bool
+	heads      map[cdr.CarID]*clean.Session
 }
 
 func newHandoverAcc(truncate bool) *handoverAcc {
@@ -625,6 +630,13 @@ func newHandoverAcc(truncate bool) *handoverAcc {
 	}
 }
 
+func (a *handoverAcc) setTrackHeads(on bool) {
+	a.trackHeads = on
+	if on && a.heads == nil {
+		a.heads = make(map[cdr.CarID]*clean.Session)
+	}
+}
+
 func (a *handoverAcc) Stage() string { return "handovers" }
 
 func (a *handoverAcc) Add(r cdr.Record) {
@@ -632,8 +644,22 @@ func (a *handoverAcc) Add(r cdr.Record) {
 		r.Duration = clean.TruncateLimit
 	}
 	if s := a.z.Add(r); s != nil {
-		a.account(s)
+		a.closeSession(s)
 	}
+}
+
+// closeSession routes a closed session: with head tracking on, each
+// car's first closed session is stashed unaccounted (it may still join
+// the open tail of an earlier time slice); everything else is
+// accounted immediately.
+func (a *handoverAcc) closeSession(s *clean.Session) {
+	if a.trackHeads {
+		if _, seen := a.heads[s.Car]; !seen {
+			a.heads[s.Car] = s
+			return
+		}
+	}
+	a.account(s)
 }
 
 func (a *handoverAcc) account(s *clean.Session) {
@@ -647,10 +673,24 @@ func (a *handoverAcc) account(s *clean.Session) {
 
 func (a *handoverAcc) Merge(other Accumulator) {
 	o := mergeAs[*handoverAcc](other)
-	// The other shard's stream is complete: close its open sessions.
+	// Car-disjoint merge: the other shard's heads stay heads (still the
+	// first session of cars this side has never seen), and its open
+	// sessions are closed as the contract's "stream complete" demands —
+	// routed through closeSession so a car whose only session was open
+	// keeps a stitchable head.
+	for _, car := range sortedKeys(o.heads) {
+		h := o.heads[car]
+		if a.trackHeads {
+			if _, seen := a.heads[car]; !seen {
+				a.heads[car] = h
+				continue
+			}
+		}
+		a.account(h)
+	}
 	for _, s := range o.z.Flush() {
 		s := s
-		o.account(&s)
+		a.closeSession(&s)
 	}
 	for kind, c := range o.byKind {
 		a.byKind[kind] += c
@@ -659,21 +699,28 @@ func (a *handoverAcc) Merge(other Accumulator) {
 }
 
 func (a *handoverAcc) Finalize(rep *Report) error {
-	// Work on copies so still-open sessions are counted without being
-	// closed — Finalize must stay repeatable.
+	// Work on copies so unaccounted sessions (stashed heads, still-open
+	// tails) are counted without being closed — Finalize must stay
+	// repeatable.
 	byKind := make(map[radio.HandoverKind]int64, len(a.byKind))
 	for k, v := range a.byKind {
 		byKind[k] = v
 	}
 	counts := append([]float64(nil), a.counts...)
-	open := a.z.Snapshot()
-	for i := range open {
+	countInto := func(s *clean.Session) {
 		n := 0
-		for kind, c := range open[i].Handovers() {
+		for kind, c := range s.Handovers() {
 			byKind[kind] += int64(c)
 			n += c
 		}
 		counts = append(counts, float64(n))
+	}
+	for _, car := range sortedKeys(a.heads) {
+		countInto(a.heads[car])
+	}
+	open := a.z.Snapshot()
+	for i := range open {
+		countInto(&open[i])
 	}
 
 	hs := HandoverStats{ByKind: byKind, Sessions: len(counts)}
@@ -768,19 +815,48 @@ type usageAcc struct {
 	z        *clean.Sessionizer
 	matrix   simtime.WeekMatrix
 	sessions int64
+	// trackHeads mirrors handoverAcc: each car's first closed session
+	// is stashed for ordered-merge stitching instead of being marked
+	// into the matrix immediately.
+	trackHeads bool
+	heads      map[cdr.CarID]*clean.Session
 }
 
 func newUsageAcc(tzOffsetSeconds int) *usageAcc {
 	return &usageAcc{tzOffset: tzOffsetSeconds, z: clean.NewSessionizer(clean.AggregateGap)}
 }
 
+func (a *usageAcc) setTrackHeads(on bool) {
+	a.trackHeads = on
+	if on && a.heads == nil {
+		a.heads = make(map[cdr.CarID]*clean.Session)
+	}
+}
+
 func (a *usageAcc) Stage() string { return "usage" }
 
 func (a *usageAcc) Add(r cdr.Record) {
 	if s := a.z.Add(r); s != nil {
-		markSessionHours(&a.matrix, s, a.tzOffset)
-		a.sessions++
+		a.closeSession(s)
 	}
+}
+
+// closeSession mirrors handoverAcc.closeSession: first closed session
+// per car becomes the stitchable head under tracking, the rest are
+// accounted.
+func (a *usageAcc) closeSession(s *clean.Session) {
+	if a.trackHeads {
+		if _, seen := a.heads[s.Car]; !seen {
+			a.heads[s.Car] = s
+			return
+		}
+	}
+	a.account(s)
+}
+
+func (a *usageAcc) account(s *clean.Session) {
+	markSessionHours(&a.matrix, s, a.tzOffset)
+	a.sessions++
 }
 
 // markSessionHours marks every local hour-of-week a session touches,
@@ -806,21 +882,35 @@ func markSessionHours(m *simtime.WeekMatrix, s *clean.Session, tzOffsetSeconds i
 
 func (a *usageAcc) Merge(other Accumulator) {
 	o := mergeAs[*usageAcc](other)
+	// Car-disjoint merge; see handoverAcc.Merge for the head routing.
+	for _, car := range sortedKeys(o.heads) {
+		h := o.heads[car]
+		if a.trackHeads {
+			if _, seen := a.heads[car]; !seen {
+				a.heads[car] = h
+				continue
+			}
+		}
+		a.account(h)
+	}
 	// The other shard's stream is complete: close its open sessions.
 	for _, s := range o.z.Flush() {
 		s := s
-		markSessionHours(&o.matrix, &s, o.tzOffset)
-		o.sessions++
+		a.closeSession(&s)
 	}
 	a.matrix.Merge(&o.matrix)
 	a.sessions += o.sessions
 }
 
 func (a *usageAcc) Finalize(rep *Report) error {
-	// Count still-open sessions on a matrix copy so Finalize stays
-	// repeatable as records keep arriving.
+	// Count stashed heads and still-open sessions on a matrix copy so
+	// Finalize stays repeatable as records keep arriving.
 	m := a.matrix
 	sessions := a.sessions
+	for _, car := range sortedKeys(a.heads) {
+		markSessionHours(&m, a.heads[car], a.tzOffset)
+		sessions++
+	}
 	open := a.z.Snapshot()
 	for i := range open {
 		markSessionHours(&m, &open[i], a.tzOffset)

@@ -434,12 +434,46 @@ func decodeSessions(d *snapshot.Decoder) []clean.Session {
 	return out
 }
 
+// encodeHeads writes the head-session stash of a TrackHeads
+// accumulator: the tracking flag, then the heads in ascending car
+// order using the open-session wire form. A non-tracking accumulator
+// writes just the flag.
+func encodeHeads(e *snapshot.Encoder, trackHeads bool, heads map[cdr.CarID]*clean.Session) {
+	e.Bool(trackHeads)
+	if !trackHeads {
+		return
+	}
+	out := make([]clean.Session, 0, len(heads))
+	for _, car := range sortedKeys(heads) {
+		out = append(out, *heads[car])
+	}
+	encodeSessions(e, out)
+}
+
+// decodeHeads reads what encodeHeads wrote, returning the tracking
+// flag and the rebuilt stash (nil when tracking is off).
+func decodeHeads(d *snapshot.Decoder) (bool, map[cdr.CarID]*clean.Session) {
+	if !d.Bool() {
+		return false, nil
+	}
+	sessions := decodeSessions(d)
+	if d.Err() != nil {
+		return false, nil
+	}
+	heads := make(map[cdr.CarID]*clean.Session, len(sessions))
+	for i := range sessions {
+		heads[sessions[i].Car] = &sessions[i]
+	}
+	return true, heads
+}
+
 // ---------------------------------------------------------------------------
 // handovers
 
 func (a *handoverAcc) SnapshotTo(w io.Writer) error {
 	e := snapshot.NewEncoder(w)
 	encodeSessions(e, a.z.Snapshot())
+	encodeHeads(e, a.trackHeads, a.heads)
 	e.Uvarint(uint64(len(a.byKind)))
 	for _, kind := range sortedKeys(a.byKind) {
 		e.Uvarint(uint64(kind))
@@ -455,6 +489,7 @@ func (a *handoverAcc) SnapshotTo(w io.Writer) error {
 func (a *handoverAcc) RestoreFrom(r io.Reader) error {
 	d := snapshot.NewDecoder(r)
 	sessions := decodeSessions(d)
+	trackHeads, heads := decodeHeads(d)
 	nk := d.Len(radio.NumHandoverKinds)
 	if d.Err() != nil {
 		return d.Err()
@@ -488,6 +523,7 @@ func (a *handoverAcc) RestoreFrom(r io.Reader) error {
 		return d.Err()
 	}
 	a.z.RestoreOpen(sessions)
+	a.trackHeads, a.heads = trackHeads, heads
 	a.byKind, a.counts = byKind, counts
 	return nil
 }
@@ -569,6 +605,7 @@ func (a *carriersAcc) RestoreFrom(r io.Reader) error {
 func (a *usageAcc) SnapshotTo(w io.Writer) error {
 	e := snapshot.NewEncoder(w)
 	encodeSessions(e, a.z.Snapshot())
+	encodeHeads(e, a.trackHeads, a.heads)
 	for hour := 0; hour < simtime.HoursPerDay; hour++ {
 		for day := 0; day < 7; day++ {
 			e.F64(a.matrix.At(hour, day))
@@ -581,6 +618,7 @@ func (a *usageAcc) SnapshotTo(w io.Writer) error {
 func (a *usageAcc) RestoreFrom(r io.Reader) error {
 	d := snapshot.NewDecoder(r)
 	sessions := decodeSessions(d)
+	trackHeads, heads := decodeHeads(d)
 	var m simtime.WeekMatrix
 	for hour := 0; hour < simtime.HoursPerDay; hour++ {
 		for day := 0; day < 7; day++ {
@@ -596,6 +634,7 @@ func (a *usageAcc) RestoreFrom(r io.Reader) error {
 		return d.Err()
 	}
 	a.z.RestoreOpen(sessions)
+	a.trackHeads, a.heads = trackHeads, heads
 	a.matrix = m
 	a.sessions = count
 	return nil

@@ -669,19 +669,16 @@ func (s *Streaming) WriteSnapshot(path string) error {
 	return writeSnapshotFile(path, s.header(), []*accumSet{s.set}, s.opts.Obs)
 }
 
-// ResumeStreaming restores a streaming accumulator from a snapshot
-// written under the same context and options. The caller must advance
-// its input past the restored Watermark (cdr.Skip) before feeding more
+// RestoreStreaming restores a streaming accumulator from a snapshot
+// stream written under the same context and options — ResumeStreaming
+// without the file handling, for callers (the query service) that keep
+// snapshots inside larger containers. The caller must advance its
+// input past the restored Watermark (cdr.Skip) before feeding more
 // records.
-func ResumeStreaming(ctx Context, opts RunOptions, path string) (*Streaming, error) {
+func RestoreStreaming(ctx Context, opts RunOptions, r io.Reader) (*Streaming, error) {
 	s := NewStreamingWithOptions(ctx, opts)
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
 	want := s.header()
-	_, sets, err := readSnapshotSets(f, func(h SnapshotHeader) (Context, EngineOptions, error) {
+	_, sets, err := readSnapshotSets(r, func(h SnapshotHeader) (Context, EngineOptions, error) {
 		if err := want.sameStudy(h); err != nil {
 			return Context{}, EngineOptions{}, err
 		}
@@ -691,9 +688,26 @@ func ResumeStreaming(ctx Context, opts RunOptions, path string) (*Streaming, err
 		return s.ctx, s.opts, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("resume %s: %w", path, err)
+		return nil, err
 	}
 	s.set = sets[0]
+	return s, nil
+}
+
+// ResumeStreaming restores a streaming accumulator from a snapshot
+// file written under the same context and options. The caller must
+// advance its input past the restored Watermark (cdr.Skip) before
+// feeding more records.
+func ResumeStreaming(ctx Context, opts RunOptions, path string) (*Streaming, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := RestoreStreaming(ctx, opts, f)
+	if err != nil {
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
 	return s, nil
 }
 

@@ -178,11 +178,15 @@ func newAccumSet(ctx Context, opts EngineOptions, worker int) *accumSet {
 		case "durations":
 			acc = newDurationsAcc()
 		case "handovers":
-			acc = newHandoverAcc(true)
+			h := newHandoverAcc(true)
+			h.setTrackHeads(opts.TrackHeads)
+			acc = h
 		case "carriers":
 			acc = newCarriersAcc()
 		case "usage":
-			acc = newUsageAcc(ctx.TZOffsetSeconds)
+			u := newUsageAcc(ctx.TZOffsetSeconds)
+			u.setTrackHeads(opts.TrackHeads)
+			acc = u
 		case "clusters":
 			if ctx.Load != nil && len(opts.BusyCells) >= 2 {
 				acc = newClustersAcc(ctx, opts.BusyCells, opts.Seed)

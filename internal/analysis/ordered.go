@@ -1,0 +1,197 @@
+// Ordered (time-sliced) merging. The plain Merge contract assumes
+// car-disjoint shards: each side closes its open sessions because "the
+// other shard never sees this car again". Time slicing breaks that —
+// the same car's stream continues in the next slice, and a session
+// spanning the slice boundary would be counted twice (once per half)
+// by the session stages (handovers, usage).
+//
+// MergeOrdered repairs the boundary. A slice built with
+// RunOptions.TrackHeads stashes each car's *first* closed session
+// unaccounted (its head) and keeps its last session open in the
+// sessionizer (its tail). Folding slice k+1 into the accumulation of
+// slices 0..k stitches, per car, the earlier open tail with the later
+// head (or open fragment) under the ordinary gap rule, so every
+// session is rebuilt exactly as a single pass over the concatenated
+// stream would have built it.
+//
+// Exactness precondition: the concatenated stream must satisfy the
+// Sessionizer contract (per-car non-decreasing start order across the
+// slice boundary), and each car's records must be non-overlapping in
+// time so span ends are monotone. Real CDRs are; a pathological
+// overlap (an earlier slice's open tail ending *after* the later
+// slice's records) would stitch differently from a single pass. All
+// non-session stages are order-insensitive and merge exactly with
+// their plain Merge under any time split.
+package analysis
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+)
+
+// orderedMerger is implemented by accumulators whose plain Merge is
+// inexact under time-sliced (car-overlapping) folds and that therefore
+// provide a boundary-stitching variant.
+type orderedMerger interface {
+	Accumulator
+	// MergeOrdered folds a later, time-adjacent slice into the
+	// receiver. The later slice must have been built with TrackHeads.
+	MergeOrdered(other Accumulator)
+}
+
+// stitchOrdered folds a later slice's session fragments into the
+// receiver's sessionizer: per car (ascending, for determinism), the
+// later head joins or closes the earlier open tail and is then closed
+// itself; the later open tail joins or replaces it and stays open.
+// closeFn receives every session the stitch proves closed.
+func stitchOrdered(z *clean.Sessionizer, closeFn func(*clean.Session), heads map[cdr.CarID]*clean.Session, later *clean.Sessionizer) {
+	// join applies the sessionizer's gap rule at the boundary: a
+	// fragment starting within gap of the earlier open tail's end
+	// continues that session; otherwise the tail is closed and the
+	// fragment becomes the car's open session.
+	join := func(frag *clean.Session) {
+		cur := z.Open(frag.Car)
+		if cur != nil && frag.Start.Sub(cur.End) > z.Gap() {
+			z.Take(frag.Car)
+			closeFn(cur)
+			cur = nil
+		}
+		if cur == nil {
+			z.Put(frag)
+			return
+		}
+		cur.Spans = append(cur.Spans, frag.Spans...)
+		cur.Connected += frag.Connected
+		if frag.End.After(cur.End) {
+			cur.End = frag.End
+		}
+	}
+	cars := sortedKeys(heads)
+	cars = append(cars, later.OpenCars()...)
+	slices.Sort(cars)
+	cars = slices.Compact(cars)
+	for _, car := range cars {
+		if h, ok := heads[car]; ok {
+			// The head was closed by real gap evidence inside the later
+			// slice, so whatever it stitched onto is complete.
+			join(h)
+			closeFn(z.Take(car))
+		}
+		if tail := later.Take(car); tail != nil {
+			join(tail) // stays open: the next slice may continue it
+		}
+	}
+}
+
+// MergeOrdered folds a later, time-adjacent handover slice into a.
+// The later slice's accounted aggregates are interior to its slice and
+// fold as-is; only the boundary sessions need stitching.
+func (a *handoverAcc) MergeOrdered(other Accumulator) {
+	o := mergeAs[*handoverAcc](other)
+	if !o.trackHeads {
+		panic("analysis: MergeOrdered needs the later slice built with TrackHeads")
+	}
+	stitchOrdered(a.z, a.closeSession, o.heads, o.z)
+	for kind, c := range o.byKind {
+		a.byKind[kind] += c
+	}
+	a.counts = append(a.counts, o.counts...)
+}
+
+// MergeOrdered folds a later, time-adjacent usage slice into a; see
+// handoverAcc.MergeOrdered.
+func (a *usageAcc) MergeOrdered(other Accumulator) {
+	o := mergeAs[*usageAcc](other)
+	if !o.trackHeads {
+		panic("analysis: MergeOrdered needs the later slice built with TrackHeads")
+	}
+	stitchOrdered(a.z, a.closeSession, o.heads, o.z)
+	a.matrix.Merge(&o.matrix)
+	a.sessions += o.sessions
+}
+
+// mergeOrdered is accumSet.merge for time-sliced folds: stages that
+// implement orderedMerger stitch the slice boundary; every other stage
+// is order-insensitive and merges plainly.
+func (s *accumSet) mergeOrdered(o *accumSet) {
+	s.flush()
+	o.flush()
+	s.raw += o.raw
+	s.ghosts += o.ghosts
+	s.outOfPeriod += o.outOfPeriod
+	s.accepted += o.accepted
+	for _, e := range o.errs {
+		if !s.hasError(e.Stage) {
+			s.errs = append(s.errs, e)
+		}
+	}
+	for i := range s.stages {
+		switch {
+		case s.hasError(engineStageOrder[i]):
+			s.stages[i] = nil
+		case s.stages[i] == nil || o.stages[i] == nil:
+			// Stage disabled by context on both sides (or failed,
+			// handled above).
+		default:
+			var t0 time.Time
+			if s.met != nil {
+				t0 = time.Now()
+			}
+			if om, ok := s.stages[i].(orderedMerger); ok {
+				om.MergeOrdered(o.stages[i])
+			} else {
+				s.stages[i].Merge(o.stages[i])
+			}
+			if s.met != nil {
+				s.met.stageMerge[i].Observe(time.Since(t0))
+			}
+		}
+	}
+	if s.met != nil {
+		s.met.rebase(s)
+	}
+}
+
+// MergeOrdered folds a later, time-adjacent slice into s, stitching
+// sessions that span the slice boundary — the composition step behind
+// rolling-window queries. later must cover records at or after every
+// record s has seen (per car), must share s's study configuration, and
+// must have been built with RunOptions.TrackHeads. later is consumed.
+//
+// Unlike the car-disjoint Merge, a left-fold of MergeOrdered over
+// consecutive time slices finalizes bit-identically to one pass over
+// the concatenated stream (see package comment for the precondition).
+func (s *Streaming) MergeOrdered(later *Streaming) error {
+	if err := s.header().sameStudy(later.header()); err != nil {
+		return err
+	}
+	if !later.tracksHeads() {
+		return fmt.Errorf("analysis: MergeOrdered needs the later slice built with TrackHeads")
+	}
+	s.set.mergeOrdered(later.set)
+	return nil
+}
+
+// tracksHeads reports whether the live session stages carry the
+// head-stash state MergeOrdered stitches with. The flag is read from
+// the accumulators, not the options: a restored slice's tracking state
+// comes from its snapshot payload.
+func (s *Streaming) tracksHeads() bool {
+	for _, name := range []string{"handovers", "usage"} {
+		switch t := s.set.stages[stageIndex(name)].(type) {
+		case *handoverAcc:
+			if !t.trackHeads {
+				return false
+			}
+		case *usageAcc:
+			if !t.trackHeads {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"cellcars/internal/cdr"
+	"cellcars/internal/clean"
+	"cellcars/internal/radio"
+)
+
+// orderedWorkload builds a time-sorted stream whose per-car records
+// never overlap — the MergeOrdered exactness precondition (see
+// ordered.go). Each car is a chain of records separated by gaps drawn
+// to straddle every sessionization threshold, including the exact
+// AggregateGap and MobilityGap boundaries; ghosts and out-of-period
+// records ride along to exercise the ingest filters.
+func orderedWorkload(n int) []cdr.Record {
+	rng := rand.New(rand.NewPCG(2024, 7))
+	records := make([]cdr.Record, 0, n)
+	next := make(map[cdr.CarID]time.Time)
+	for len(records) < n {
+		car := cdr.CarID(rng.Uint64N(300))
+		start, ok := next[car]
+		if !ok {
+			start = t0.Add(time.Duration(rng.Uint64N(24*3600)) * time.Second)
+		}
+		dur := time.Duration(5+rng.Uint64N(900)) * time.Second
+		records = append(records, cdr.Record{
+			Car:      car,
+			Cell:     radio.MakeCellKey(radio.BSID(rng.Uint64N(60)), radio.SectorID(rng.Uint64N(3)), radio.C1+radio.CarrierID(rng.Uint64N(uint64(radio.NumCarriers)))),
+			Start:    start,
+			Duration: dur,
+		})
+		var gap time.Duration
+		switch rng.Uint64N(6) {
+		case 0: // within the aggregate gap: joins both session kinds
+			gap = time.Duration(rng.Uint64N(30)) * time.Second
+		case 1: // exactly AggregateGap: still joins (close needs > gap)
+			gap = clean.AggregateGap
+		case 2: // between the gaps: splits usage, joins mobility
+			gap = time.Duration(35+rng.Uint64N(500)) * time.Second
+		case 3: // exactly MobilityGap: still joins mobility
+			gap = clean.MobilityGap
+		case 4: // beyond both gaps: splits everything
+			gap = clean.MobilityGap + time.Duration(1+rng.Uint64N(3600))*time.Second
+		case 5: // a long silence, pushing some cars past the period
+			gap = time.Duration(rng.Uint64N(3*24*3600)) * time.Second
+		}
+		next[car] = start.Add(dur + gap)
+	}
+	// Ghosts and pre-period records are filtered before any stage sees
+	// them, so they need not respect the per-car chains.
+	for i := 0; i < n/100; i++ {
+		records = append(records, cdr.Record{
+			Car:      cdr.CarID(rng.Uint64N(300)),
+			Cell:     radio.MakeCellKey(radio.BSID(rng.Uint64N(60)), 0, radio.C1),
+			Start:    t0.Add(time.Duration(rng.Uint64N(14*24*3600)) * time.Second),
+			Duration: clean.GhostDuration,
+		})
+		records = append(records, cdr.Record{
+			Car:      cdr.CarID(rng.Uint64N(300)),
+			Cell:     radio.MakeCellKey(radio.BSID(rng.Uint64N(60)), 0, radio.C2),
+			Start:    t0.Add(-time.Duration(1+rng.Uint64N(48*3600)) * time.Second),
+			Duration: 60 * time.Second,
+		})
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].Start.Before(records[j].Start)
+	})
+	return records
+}
+
+// TestMergeOrderedEquivalence is the tentpole property behind the
+// query service's rolling windows: a left-fold of MergeOrdered over
+// consecutive time slices of a stream — each slice snapshotted and
+// restored, as the window composer does — finalizes bit-identically to
+// one uninterrupted pass, for any cut placement, including sessions
+// spanning every cut.
+func TestMergeOrderedEquivalence(t *testing.T) {
+	records := orderedWorkload(20000)
+	ctx := engineCtx()
+	opts := RunOptions{RareDays: []int{2, 5}, Seed: 1, BusyCells: engineBusyCells()}
+
+	base := NewStreamingWithOptions(ctx, opts)
+	if err := base.AddAll(cdr.NewSliceReader(records)); err != nil {
+		t.Fatal(err)
+	}
+	want := base.Finalize()
+	if want.Handovers.Sessions == 0 || want.UsageSessions == 0 {
+		t.Fatal("degenerate workload: no sessions")
+	}
+
+	tracked := opts
+	tracked.TrackHeads = true
+
+	for _, cuts := range [][]int{
+		{len(records) / 2},
+		{1, 2, 3},
+		{0, 5000, 10000, 15000}, // leading empty slice
+		{4000, 4001, 12000, len(records) - 1},
+	} {
+		bounds := append(append([]int{0}, cuts...), len(records))
+		var fold *Streaming
+		for b := 0; b+1 < len(bounds); b++ {
+			s := NewStreamingWithOptions(ctx, tracked)
+			if err := s.AddAll(cdr.NewSliceReader(records[bounds[b]:bounds[b+1]])); err != nil {
+				t.Fatal(err)
+			}
+			// Round-trip each slice through its snapshot so the fold
+			// exercises the persisted head/tail state, not just the
+			// live one.
+			var buf bytes.Buffer
+			if err := s.SnapshotTo(&buf); err != nil {
+				t.Fatalf("cuts %v: snapshot slice %d: %v", cuts, b, err)
+			}
+			restored, err := RestoreStreaming(ctx, tracked, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("cuts %v: restore slice %d: %v", cuts, b, err)
+			}
+			if fold == nil {
+				fold = restored
+				continue
+			}
+			if err := fold.MergeOrdered(restored); err != nil {
+				t.Fatalf("cuts %v: merge slice %d: %v", cuts, b, err)
+			}
+		}
+		got := fold.Finalize()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("cuts %v: folded report diverges from single pass\nwant %+v\ngot  %+v", cuts, want, got)
+		}
+		if again := fold.Finalize(); !reflect.DeepEqual(got, again) {
+			t.Fatalf("cuts %v: Finalize not repeatable after ordered fold", cuts)
+		}
+	}
+}
+
+// TestMergeOrderedStitchesBoundarySession pins the mechanism on a
+// hand-built case: one car whose four records form a single mobility
+// session, cut down the middle. A car-disjoint Merge would count two
+// sessions; MergeOrdered must rebuild one.
+func TestMergeOrderedStitchesBoundarySession(t *testing.T) {
+	ctx := engineCtx()
+	cell := func(bs radio.BSID) radio.CellKey { return radio.MakeCellKey(bs, 0, radio.C1) }
+	rec := func(offset time.Duration, bs radio.BSID) cdr.Record {
+		return cdr.Record{Car: 1, Cell: cell(bs), Start: t0.Add(offset), Duration: 60 * time.Second}
+	}
+	records := []cdr.Record{
+		rec(0, 1), rec(70*time.Second, 2),
+		rec(140*time.Second, 3), rec(210*time.Second, 4),
+	}
+
+	tracked := RunOptions{TrackHeads: true}
+	a := NewStreamingWithOptions(ctx, tracked)
+	b := NewStreamingWithOptions(ctx, tracked)
+	for _, r := range records[:2] {
+		a.Add(r)
+	}
+	for _, r := range records[2:] {
+		b.Add(r)
+	}
+	if err := a.MergeOrdered(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Finalize()
+	if got.Handovers.Sessions != 1 {
+		t.Fatalf("stitched fold counts %d mobility sessions, want 1", got.Handovers.Sessions)
+	}
+	// All three handovers (1→2, 2→3, 3→4) must survive the stitch,
+	// including the 2→3 transition that crosses the cut itself.
+	total := int64(0)
+	for _, c := range got.Handovers.ByKind {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("stitched fold counts %d handovers, want 3", total)
+	}
+}
+
+// TestMergeOrderedRequiresTrackHeads: folding a slice built without
+// head tracking must fail loudly instead of double-counting.
+func TestMergeOrderedRequiresTrackHeads(t *testing.T) {
+	ctx := engineCtx()
+	a := NewStreamingWithOptions(ctx, RunOptions{TrackHeads: true})
+	b := NewStreamingWithOptions(ctx, RunOptions{})
+	if err := a.MergeOrdered(b); err == nil {
+		t.Fatal("MergeOrdered accepted a slice built without TrackHeads")
+	}
+}

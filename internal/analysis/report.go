@@ -124,6 +124,14 @@ type RunOptions struct {
 	// checkpoint costs — and enables Report.Profile. Nil turns the
 	// observability layer off at zero cost.
 	Obs *obs.Registry
+	// TrackHeads makes the session stages (handovers, usage) stash
+	// each car's first closed session instead of accounting it
+	// immediately, so time-adjacent accumulator slices can be stitched
+	// back together exactly with Streaming.MergeOrdered. Plain Merge
+	// and Finalize still account the stashed heads, so a TrackHeads
+	// run finalized alone produces the ordinary report. Only the
+	// time-bucketed query service needs this; batch runs leave it off.
+	TrackHeads bool
 }
 
 // Run executes the complete measurement pipeline over a raw record

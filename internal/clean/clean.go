@@ -9,6 +9,7 @@ package clean
 import (
 	"errors"
 	"io"
+	"slices"
 	"time"
 
 	"cellcars/internal/cdr"
@@ -180,6 +181,39 @@ func (z *Sessionizer) RestoreOpen(sessions []Session) {
 		s.Spans = append([]CellSpan(nil), sessions[i].Spans...)
 		z.open[s.Car] = &s
 	}
+}
+
+// Gap returns the maximum concatenation gap the sessionizer was
+// constructed with.
+func (z *Sessionizer) Gap() time.Duration { return z.gap }
+
+// Open returns the live open session for one car, or nil. The caller
+// may mutate it in place; the session stays open.
+func (z *Sessionizer) Open(car cdr.CarID) *Session { return z.open[car] }
+
+// Take removes and returns one car's open session without accounting
+// it anywhere — the surgical half of an ordered (time-sliced) merge,
+// where the caller decides whether the session closed or continues in
+// an adjacent slice.
+func (z *Sessionizer) Take(car cdr.CarID) *Session {
+	s := z.open[car]
+	delete(z.open, car)
+	return s
+}
+
+// Put installs a session as one car's open session, replacing any
+// current one. The session is adopted, not copied.
+func (z *Sessionizer) Put(s *Session) { z.open[s.Car] = s }
+
+// OpenCars returns the cars with an open session, ascending — the
+// deterministic iteration order for ordered merges.
+func (z *Sessionizer) OpenCars() []cdr.CarID {
+	out := make([]cdr.CarID, 0, len(z.open))
+	for car := range z.open {
+		out = append(out, car)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Flush closes and returns every open session, ordered by car id

@@ -1,0 +1,203 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/snapshot"
+)
+
+// A cut is one snapshot container holding the whole store:
+//
+//	"queryheader"  bucket width, watermark, live index, bucket count
+//	"bucket:<i>"   bucket i's full Streaming snapshot stream, embedded
+//
+// Consistency comes from the encode step: every bucket's encoding is
+// refreshed under the store mutex in one critical section, so the
+// frames written afterwards describe a single instant of the ingest
+// even while records keep arriving.
+const (
+	cutHeaderFrame = "queryheader"
+	cutBucketPfx   = "bucket:"
+)
+
+// ErrNoSnapshots marks durability calls on a store configured without
+// a snapshot directory.
+var ErrNoSnapshots = errors.New("query: no snapshot directory configured")
+
+// cutState is one consistent encoding of the store, taken under the
+// lock and written outside it.
+type cutState struct {
+	watermark int64
+	live      int
+	idxs      []int
+	encs      [][]byte
+}
+
+func (s *Store) cutLocked() (cutState, error) {
+	st := cutState{watermark: s.watermark, live: s.live}
+	for idx := range s.buckets {
+		st.idxs = append(st.idxs, idx)
+	}
+	sort.Ints(st.idxs)
+	for _, idx := range st.idxs {
+		enc, err := s.buckets[idx].encodeLocked()
+		if err != nil {
+			return cutState{}, fmt.Errorf("query: encode bucket %d: %w", idx, err)
+		}
+		st.encs = append(st.encs, enc)
+	}
+	return st, nil
+}
+
+func (s *Store) writeCut(w io.Writer, st cutState) error {
+	sw := snapshot.NewWriter(w)
+	e := sw.Begin(cutHeaderFrame)
+	e.Varint(int64(s.width))
+	e.Varint(st.watermark)
+	e.Varint(int64(st.live))
+	e.Uvarint(uint64(len(st.idxs)))
+	sw.End()
+	for i, idx := range st.idxs {
+		sw.RawFrame(cutBucketPfx+strconv.Itoa(idx), st.encs[i])
+	}
+	return sw.Close()
+}
+
+// Checkpoint writes one consistent cut of every live bucket to the
+// snapshot directory and prunes old cuts. It returns the new cut's
+// sequence number.
+func (s *Store) Checkpoint() (uint64, error) {
+	if s.snaps == nil {
+		return 0, ErrNoSnapshots
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	st, err := s.cutLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	seq, err := s.snaps.WriteCut(func(w io.Writer) error {
+		return s.writeCut(w, st)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if s.met != nil {
+		s.met.cuts.Inc()
+		s.met.cutSeconds.Observe(time.Since(t0))
+	}
+	return seq, nil
+}
+
+// restoredCut is a validated cut, decoded off disk but not yet
+// installed.
+type restoredCut struct {
+	watermark int64
+	live      int
+	buckets   map[int]*bucket
+}
+
+// readCut parses and fully validates one cut stream: container
+// integrity, header sanity, every bucket restorable under the store's
+// study configuration, and the header watermark equal to the sum of
+// bucket record counts. Any failure means "try the previous cut".
+func (s *Store) readCut(r io.Reader) (*restoredCut, error) {
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	name, d, err := sr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if name != cutHeaderFrame {
+		return nil, fmt.Errorf("query: cut starts with frame %q, want %q", name, cutHeaderFrame)
+	}
+	width := time.Duration(d.Varint())
+	watermark := d.Varint()
+	live := int(d.Varint())
+	n := d.Len(1 << 20)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if width != s.width {
+		return nil, fmt.Errorf("query: cut bucket width %v, store configured for %v", width, s.width)
+	}
+	if watermark < 0 || live < -1 || live > s.maxIdx {
+		return nil, fmt.Errorf("query: cut header implausible (watermark %d, live %d)", watermark, live)
+	}
+
+	out := &restoredCut{watermark: watermark, live: live, buckets: make(map[int]*bucket, n)}
+	var sum int64
+	for i := 0; i < n; i++ {
+		name, payload, err := sr.NextFrame()
+		if err != nil {
+			return nil, err
+		}
+		idxStr, ok := strings.CutPrefix(name, cutBucketPfx)
+		if !ok {
+			return nil, fmt.Errorf("query: unexpected cut frame %q", name)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 || idx > s.maxIdx {
+			return nil, fmt.Errorf("query: cut bucket index %q out of range", idxStr)
+		}
+		if _, dup := out.buckets[idx]; dup {
+			return nil, fmt.Errorf("query: duplicate cut bucket %d", idx)
+		}
+		stream, err := analysis.RestoreStreaming(s.ctx, s.opts, bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("query: restore cut bucket %d: %w", idx, err)
+		}
+		out.buckets[idx] = &bucket{stream: stream, encoded: payload}
+		sum += stream.Watermark()
+	}
+	if _, _, err := sr.NextFrame(); err != io.EOF {
+		return nil, fmt.Errorf("query: trailing cut frames: %v", err)
+	}
+	if sum != watermark {
+		return nil, fmt.Errorf("query: cut watermark %d but buckets hold %d records", watermark, sum)
+	}
+	return out, nil
+}
+
+// Restore warm-starts the store from the newest valid cut in the
+// snapshot directory, skipping torn or corrupt cuts. It returns the
+// restored watermark — the record count the caller must cdr.Skip on
+// the re-opened stream — and ok=false on a cold start (no valid cut).
+// The store must be empty (freshly built) when Restore is called.
+func (s *Store) Restore() (watermark int64, ok bool, err error) {
+	if s.snaps == nil {
+		return 0, false, ErrNoSnapshots
+	}
+	_, res, ok, err := s.snaps.LatestValid(func(_ uint64, r io.Reader) (any, error) {
+		return s.readCut(r)
+	})
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	cut := res.(*restoredCut)
+	s.mu.Lock()
+	s.buckets = cut.buckets
+	s.live = cut.live
+	s.watermark = cut.watermark
+	s.reports = make(map[string]cachedReport)
+	if s.met != nil {
+		s.met.buckets.Set(float64(len(s.buckets)))
+		s.met.epoch.Set(float64(s.live))
+	}
+	s.mu.Unlock()
+	if s.met != nil {
+		s.met.restores.Inc()
+	}
+	return cut.watermark, true, nil
+}

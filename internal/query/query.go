@@ -1,0 +1,440 @@
+// Package query is the serving layer over the measurement pipeline: a
+// time-bucketed store of streaming accumulators that ingests CDR
+// records continuously and answers the paper's report queries over
+// rolling windows.
+//
+// The store slices the study period into fixed-width buckets (an hour
+// by default). Each bucket is a full analysis.Streaming accumulator
+// built with TrackHeads, fed only the records whose start falls in its
+// slice. A window query restores the covered buckets from their cached
+// snapshot encodings and left-folds them with MergeOrdered, so a
+// served 24h report is bit-identical to a batch run over the same
+// records (the TestMergeOrderedEquivalence property).
+//
+// Readers are lock-light: the store mutex covers only bucket routing,
+// snapshot-encoding, and the response cache; the expensive
+// restore+fold+finalize+marshal runs outside the lock on immutable
+// encoded bytes. Responses are cached per (endpoint, window) and
+// invalidated when the live bucket advances, so a response can be
+// stale by at most one bucket width — the deliberate trade the bucket
+// model makes.
+//
+// Durability rides on snapshot.Dir: Checkpoint writes one consistent
+// cut holding every bucket's snapshot, Restore warm-starts from the
+// newest valid cut, and the daemon replays only the post-watermark
+// tail of its input.
+package query
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cellcars/internal/analysis"
+	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
+	"cellcars/internal/snapshot"
+)
+
+// Window names a rolling span of trailing buckets, e.g. {"24h", 24h}.
+type Window struct {
+	Name string
+	Span time.Duration
+}
+
+// DefaultWindows are the rolling spans the paper's operational story
+// needs: a day, a week, and the full 90-day study scale.
+func DefaultWindows() []Window {
+	return []Window{
+		{Name: "24h", Span: 24 * time.Hour},
+		{Name: "7d", Span: 7 * 24 * time.Hour},
+		{Name: "90d", Span: 90 * 24 * time.Hour},
+	}
+}
+
+// Config assembles a Store.
+type Config struct {
+	// Ctx is the study configuration every bucket shares.
+	Ctx analysis.Context
+	// Opts are the analysis options. TrackHeads is forced on (the
+	// window fold requires it) and Obs is stripped from the per-bucket
+	// accumulators — the store reports through its own query-area
+	// metrics instead.
+	Opts analysis.RunOptions
+	// Bucket is the slice width; 0 means one hour.
+	Bucket time.Duration
+	// Windows are the queryable rolling spans; empty means
+	// DefaultWindows. Every span must be a positive multiple of the
+	// bucket width.
+	Windows []Window
+	// Snapshots, when non-nil, is the rotated cut directory behind
+	// Checkpoint and Restore. Nil disables durability.
+	Snapshots *snapshot.Dir
+	// Obs, when non-nil, receives the store's metrics.
+	Obs *obs.Registry
+}
+
+// Store is the bucketed accumulator set behind the query service.
+// Methods are safe for concurrent use.
+type Store struct {
+	ctx     analysis.Context
+	opts    analysis.RunOptions
+	width   time.Duration
+	maxIdx  int
+	windows []Window
+	snaps   *snapshot.Dir
+
+	mu        sync.Mutex
+	buckets   map[int]*bucket
+	live      int // highest bucket index fed so far; -1 cold
+	watermark int64
+	reports   map[string]cachedReport
+
+	met *storeMetrics
+}
+
+type bucket struct {
+	stream *analysis.Streaming
+	// dirty marks records added since encoded was produced.
+	dirty   bool
+	encoded []byte
+}
+
+type cachedReport struct {
+	epoch int
+	body  []byte
+}
+
+type storeMetrics struct {
+	records     *obs.Counter
+	requests    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	foldSeconds *obs.Timing
+	buckets     *obs.Gauge
+	epoch       *obs.Gauge
+	cuts        *obs.Counter
+	cutSeconds  *obs.Timing
+	restores    *obs.Counter
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &storeMetrics{
+		records:     reg.Counter("cellcars_query_records_total"),
+		requests:    reg.Counter("cellcars_query_requests_total"),
+		cacheHits:   reg.Counter("cellcars_query_cache_hits_total"),
+		cacheMisses: reg.Counter("cellcars_query_cache_misses_total"),
+		foldSeconds: reg.Timing("cellcars_query_fold_seconds"),
+		buckets:     reg.Gauge("cellcars_query_buckets"),
+		epoch:       reg.Gauge("cellcars_query_epoch"),
+		cuts:        reg.Counter("cellcars_query_cuts_total"),
+		cutSeconds:  reg.Timing("cellcars_query_cut_seconds"),
+		restores:    reg.Counter("cellcars_query_restores_total"),
+	}
+}
+
+// New validates the configuration and builds an empty store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Ctx.Period.Days() <= 0 {
+		return nil, errors.New("query: context has no study period")
+	}
+	width := cfg.Bucket
+	if width == 0 {
+		width = time.Hour
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("query: bucket width %v not positive", width)
+	}
+	span := cfg.Ctx.Period.End().Sub(cfg.Ctx.Period.Start())
+	if span%width != 0 {
+		return nil, fmt.Errorf("query: bucket width %v does not divide the %v study period", width, span)
+	}
+	windows := cfg.Windows
+	if len(windows) == 0 {
+		windows = DefaultWindows()
+	}
+	seen := make(map[string]bool, len(windows))
+	for _, w := range windows {
+		if w.Name == "" {
+			return nil, errors.New("query: window with empty name")
+		}
+		if seen[w.Name] {
+			return nil, fmt.Errorf("query: duplicate window %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Span <= 0 || w.Span%width != 0 {
+			return nil, fmt.Errorf("query: window %q span %v is not a positive multiple of the %v bucket", w.Name, w.Span, width)
+		}
+	}
+	opts := cfg.Opts
+	opts.TrackHeads = true
+	opts.Obs = nil
+	return &Store{
+		ctx:     cfg.Ctx,
+		opts:    opts,
+		width:   width,
+		maxIdx:  int(span/width) - 1,
+		windows: windows,
+		snaps:   cfg.Snapshots,
+		buckets: make(map[int]*bucket),
+		live:    -1,
+		reports: make(map[string]cachedReport),
+		met:     newStoreMetrics(cfg.Obs),
+	}, nil
+}
+
+// Windows returns the configured rolling windows.
+func (s *Store) Windows() []Window { return append([]Window(nil), s.windows...) }
+
+// BucketWidth returns the bucket slice width.
+func (s *Store) BucketWidth() time.Duration { return s.width }
+
+// bucketIndex routes a record start to its bucket. Starts outside the
+// study period clamp to the edge buckets; the accumulators there count
+// them out-of-period exactly as a batch run would.
+func (s *Store) bucketIndex(t time.Time) int {
+	d := t.Sub(s.ctx.Period.Start())
+	if d < 0 {
+		return 0
+	}
+	idx := int(d / s.width)
+	if idx > s.maxIdx {
+		return s.maxIdx
+	}
+	return idx
+}
+
+// Add ingests one record into its time bucket. Records must arrive in
+// the stream's start order (the Sessionizer contract each bucket
+// inherits); a late record into an already-passed bucket is accepted
+// and invalidates that bucket's cached encoding.
+func (s *Store) Add(r cdr.Record) {
+	idx := s.bucketIndex(r.Start)
+	s.mu.Lock()
+	b := s.buckets[idx]
+	if b == nil {
+		b = &bucket{stream: analysis.NewStreamingWithOptions(s.ctx, s.opts)}
+		s.buckets[idx] = b
+		if s.met != nil {
+			s.met.buckets.Set(float64(len(s.buckets)))
+		}
+	}
+	b.stream.Add(r)
+	b.dirty = true
+	s.watermark++
+	if idx > s.live {
+		s.live = idx
+		if s.met != nil {
+			s.met.epoch.Set(float64(idx))
+		}
+	}
+	s.mu.Unlock()
+	if s.met != nil {
+		s.met.records.Inc()
+	}
+}
+
+// Watermark returns the records ingested so far — the count a warm
+// restart must skip on the re-opened stream.
+func (s *Store) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Epoch returns the live (highest fed) bucket index, -1 when cold.
+func (s *Store) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// window returns the named window, or false.
+func (s *Store) window(name string) (Window, bool) {
+	for _, w := range s.windows {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Window{}, false
+}
+
+// encodeLocked refreshes one bucket's snapshot encoding. Callers hold
+// the store mutex; the returned bytes are immutable thereafter.
+func (b *bucket) encodeLocked() ([]byte, error) {
+	if !b.dirty && b.encoded != nil {
+		return b.encoded, nil
+	}
+	var buf bytes.Buffer
+	if err := b.stream.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	b.encoded = buf.Bytes()
+	b.dirty = false
+	return b.encoded, nil
+}
+
+// windowSlices collects the encoded buckets a window covers, ascending
+// by bucket index, refreshing stale encodings under the lock.
+func (s *Store) windowSlices(w Window) (encs [][]byte, epoch int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch = s.live
+	if s.live < 0 {
+		return nil, epoch, nil
+	}
+	lo := s.live - int(w.Span/s.width) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	idxs := make([]int, 0, len(s.buckets))
+	for idx := range s.buckets {
+		if idx >= lo && idx <= s.live {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		enc, err := s.buckets[idx].encodeLocked()
+		if err != nil {
+			return nil, epoch, fmt.Errorf("query: encode bucket %d: %w", idx, err)
+		}
+		encs = append(encs, enc)
+	}
+	return encs, epoch, nil
+}
+
+// fold restores each encoded bucket and left-folds them in time order,
+// returning the finalized window report. An empty window finalizes a
+// fresh accumulator: the zero report.
+func (s *Store) fold(encs [][]byte) (*analysis.StreamReport, error) {
+	t0 := time.Now()
+	var acc *analysis.Streaming
+	for i, enc := range encs {
+		restored, err := analysis.RestoreStreaming(s.ctx, s.opts, bytes.NewReader(enc))
+		if err != nil {
+			return nil, fmt.Errorf("query: restore window bucket %d: %w", i, err)
+		}
+		if acc == nil {
+			acc = restored
+			continue
+		}
+		if err := acc.MergeOrdered(restored); err != nil {
+			return nil, fmt.Errorf("query: fold window bucket %d: %w", i, err)
+		}
+	}
+	if acc == nil {
+		acc = analysis.NewStreamingWithOptions(s.ctx, s.opts)
+	}
+	rep := acc.Finalize()
+	if s.met != nil {
+		s.met.foldSeconds.Observe(time.Since(t0))
+	}
+	return &rep, nil
+}
+
+// ErrUnknownWindow and ErrUnknownEndpoint classify bad queries for the
+// HTTP layer's 404s.
+var (
+	ErrUnknownWindow   = errors.New("query: unknown window")
+	ErrUnknownEndpoint = errors.New("query: unknown endpoint")
+)
+
+// Report answers one endpoint over one window, serving from the
+// (endpoint, window) cache while the live bucket has not advanced.
+// The returned bytes are shared and must not be modified.
+func (s *Store) Report(endpoint, windowName string) ([]byte, error) {
+	view, ok := viewFor(endpoint)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, endpoint)
+	}
+	w, ok := s.window(windowName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWindow, windowName)
+	}
+	if s.met != nil {
+		s.met.requests.Inc()
+	}
+	key := endpoint + "|" + w.Name
+
+	s.mu.Lock()
+	if c, ok := s.reports[key]; ok && c.epoch == s.live {
+		s.mu.Unlock()
+		if s.met != nil {
+			s.met.cacheHits.Inc()
+		}
+		return c.body, nil
+	}
+	s.mu.Unlock()
+	if s.met != nil {
+		s.met.cacheMisses.Inc()
+	}
+
+	encs, epoch, err := s.windowSlices(w)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.fold(encs)
+	if err != nil {
+		return nil, err
+	}
+	body, err := view(rep)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	// A concurrent Add may have advanced the live bucket while we
+	// folded; only cache a response that is still current.
+	if epoch == s.live {
+		s.reports[key] = cachedReport{epoch: epoch, body: body}
+	}
+	s.mu.Unlock()
+	return body, nil
+}
+
+// WindowReport folds one window and returns the full report value —
+// the programmatic face of /report/full.
+func (s *Store) WindowReport(windowName string) (*analysis.StreamReport, error) {
+	w, ok := s.window(windowName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWindow, windowName)
+	}
+	encs, _, err := s.windowSlices(w)
+	if err != nil {
+		return nil, err
+	}
+	return s.fold(encs)
+}
+
+// Stats is a cheap point-in-time summary for /stats and /readyz.
+type Stats struct {
+	Records     int64         `json:"records"`
+	Buckets     int           `json:"buckets"`
+	Epoch       int           `json:"epoch"`
+	BucketWidth time.Duration `json:"bucket_width_ns"`
+	Windows     []string      `json:"windows"`
+}
+
+// Snapshot returns the store's ingest counters.
+func (s *Store) SnapshotStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.windows))
+	for _, w := range s.windows {
+		names = append(names, w.Name)
+	}
+	return Stats{
+		Records:     s.watermark,
+		Buckets:     len(s.buckets),
+		Epoch:       s.live,
+		BucketWidth: s.width,
+		Windows:     names,
+	}
+}

@@ -1,0 +1,125 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"cellcars/internal/obs"
+)
+
+// Server is the HTTP face of a Store: the report endpoints, liveness
+// and readiness probes, and (when a registry is supplied) the standard
+// obs surface — Prometheus /metrics, /debug/vars, and pprof.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+	ready atomic.Bool
+}
+
+// NewServer builds the handler. reg may be nil; the obs surface is
+// mounted only when it is not.
+func NewServer(store *Store, reg *obs.Registry) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/windows", s.handleWindows)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/report/", s.handleReport)
+	if reg != nil {
+		s.mux.Handle("/metrics", obs.Handler(reg))
+		s.mux.Handle("/debug/", obs.Handler(reg))
+	}
+	return s
+}
+
+// SetReady flips the /readyz answer; the daemon marks ready once the
+// warm restart (if any) finished and ingest is attached.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("warming up\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, _ *http.Request) {
+	type windowInfo struct {
+		Name    string `json:"name"`
+		SpanNS  int64  `json:"span_ns"`
+		Buckets int    `json:"buckets"`
+	}
+	width := s.store.BucketWidth()
+	var wins []windowInfo
+	for _, win := range s.store.Windows() {
+		wins = append(wins, windowInfo{
+			Name:    win.Name,
+			SpanNS:  int64(win.Span),
+			Buckets: int(win.Span / width),
+		})
+	}
+	writeJSON(w, map[string]any{
+		"bucket_width_ns": int64(width),
+		"windows":         wins,
+		"endpoints":       Endpoints(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.store.SnapshotStats())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	endpoint := strings.TrimPrefix(r.URL.Path, "/report/")
+	if endpoint == "" || strings.Contains(endpoint, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	windowName := r.URL.Query().Get("window")
+	if windowName == "" {
+		windows := s.store.Windows()
+		if len(windows) == 0 {
+			http.Error(w, "no windows configured", http.StatusInternalServerError)
+			return
+		}
+		windowName = windows[0].Name
+	}
+	body, err := s.store.Report(endpoint, windowName)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownEndpoint), errors.Is(err, ErrUnknownWindow):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cellcars-Window", windowName)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}

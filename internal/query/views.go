@@ -1,0 +1,102 @@
+package query
+
+import (
+	"encoding/json"
+	"sort"
+
+	"cellcars/internal/analysis"
+)
+
+// A view renders one endpoint's slice of a window report as JSON.
+// Every view is deterministic — equal reports marshal to equal bytes
+// (encoding/json sorts map keys) — which is what makes the e2e
+// "served report ≡ batch report" comparison byte-exact.
+type view func(*analysis.StreamReport) ([]byte, error)
+
+// MarshalReport renders a full report exactly as /report/full serves
+// it. caranalyze -json uses the same function, so a daemon answer and
+// a batch answer over the same records are comparable byte for byte.
+func MarshalReport(rep *analysis.StreamReport) ([]byte, error) {
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func marshalView(v any) ([]byte, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// Endpoints lists the report endpoints, sorted, for /windows and docs.
+func Endpoints() []string {
+	names := make([]string, 0, len(views))
+	for name := range views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func viewFor(endpoint string) (view, bool) {
+	v, ok := views[endpoint]
+	return v, ok
+}
+
+var views = map[string]view{
+	"full": MarshalReport,
+	"summary": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(map[string]any{
+			"records":           r.Records,
+			"ghosts_dropped":    r.GhostsDropped,
+			"out_of_period":     r.OutOfPeriod,
+			"total_cars":        r.Presence.TotalCars,
+			"total_cells":       r.Presence.TotalCells,
+			"usage_sessions":    r.UsageSessions,
+			"mobility_sessions": r.Handovers.Sessions,
+			"stage_errors":      len(r.StageErrors),
+		})
+	},
+	"presence": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(map[string]any{
+			"presence": r.Presence,
+			"weekdays": r.WeekdayRows,
+		})
+	},
+	"connected": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(r.Connected)
+	},
+	"days": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(map[string]any{"days_count": r.DaysCount})
+	},
+	"segments": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(map[string]any{"segments": r.Segments})
+	},
+	"busy": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(r.Busy)
+	},
+	"durations": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(map[string]any{
+			"median":     r.DurMedian,
+			"p73":        r.DurP73,
+			"full_mean":  r.DurFullMean,
+			"trunc_mean": r.DurTruncMean,
+		})
+	},
+	"handovers": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(r.Handovers)
+	},
+	"carriers": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(r.Carriers)
+	},
+	"usage": func(r *analysis.StreamReport) ([]byte, error) {
+		return marshalView(map[string]any{
+			"matrix":   r.FleetUsage,
+			"sessions": r.UsageSessions,
+		})
+	},
+}

@@ -1,6 +1,9 @@
 package simtime
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // WeekMatrix is a 24×7 hour-of-week accumulation matrix, the encoding
 // the paper uses for commute peaks, network peaks, weekend windows
@@ -43,6 +46,38 @@ func (m *WeekMatrix) index(hour, day int) int {
 		panic(fmt.Sprintf("simtime: matrix cell (%d,%d) out of range", hour, day))
 	}
 	return hour*7 + day
+}
+
+// MarshalJSON renders the matrix as 24 hour-rows of 7 day columns
+// (Monday first), so reports carrying matrices survive a JSON round
+// trip instead of collapsing to an empty object.
+func (m WeekMatrix) MarshalJSON() ([]byte, error) {
+	rows := make([][7]float64, HoursPerDay)
+	for hour := 0; hour < HoursPerDay; hour++ {
+		for day := 0; day < 7; day++ {
+			rows[hour][day] = m.At(hour, day)
+		}
+	}
+	return json.Marshal(rows)
+}
+
+// UnmarshalJSON restores a matrix marshaled by MarshalJSON.
+func (m *WeekMatrix) UnmarshalJSON(data []byte) error {
+	var rows [][7]float64
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return err
+	}
+	if len(rows) != HoursPerDay {
+		return fmt.Errorf("simtime: week matrix needs %d hour rows, got %d", HoursPerDay, len(rows))
+	}
+	var out WeekMatrix
+	for hour := range rows {
+		for day := 0; day < 7; day++ {
+			out.Set(hour, day, rows[hour][day])
+		}
+	}
+	*m = out
+	return nil
 }
 
 // Max returns the largest cell value, or 0 for an empty matrix.

@@ -1,0 +1,159 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dir manages a directory of rotated snapshot cuts for a long-running
+// process: each cut is written atomically under a monotonically
+// numbered name, old cuts are pruned down to Keep, and restart picks
+// the newest cut that still validates — so a crash mid-write (a torn
+// tail) silently falls back to the previous good cut instead of
+// refusing to start.
+type Dir struct {
+	// Path is the snapshot directory; WriteCut creates it on demand.
+	Path string
+	// Keep is how many cuts to retain, newest first. Values below 1
+	// mean 1: the directory always keeps the latest good cut.
+	Keep int
+}
+
+// cutPrefix and cutSuffix frame a cut file name: cut-000042.snap.
+const (
+	cutPrefix = "cut-"
+	cutSuffix = ".snap"
+)
+
+func cutName(seq uint64) string {
+	return fmt.Sprintf("%s%06d%s", cutPrefix, seq, cutSuffix)
+}
+
+// cutSeq parses a cut file name, reporting ok=false for foreign files.
+func cutSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, cutPrefix) || !strings.HasSuffix(name, cutSuffix) {
+		return 0, false
+	}
+	mid := name[len(cutPrefix) : len(name)-len(cutSuffix)]
+	if mid == "" {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Cuts returns the directory's cut sequence numbers, ascending. A
+// missing directory is an empty list, not an error.
+func (d *Dir) Cuts() ([]uint64, error) {
+	entries, err := os.ReadDir(d.Path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := cutSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// CutPath returns the file path of one cut.
+func (d *Dir) CutPath(seq uint64) string {
+	return filepath.Join(d.Path, cutName(seq))
+}
+
+// WriteCut writes the next cut atomically — tmp file, fsync, rename —
+// and prunes old cuts down to Keep. write receives the destination
+// stream; any error it returns aborts the cut and leaves the directory
+// unchanged. The new cut's sequence number is returned.
+func (d *Dir) WriteCut(write func(w io.Writer) error) (uint64, error) {
+	if err := os.MkdirAll(d.Path, 0o755); err != nil {
+		return 0, err
+	}
+	seqs, err := d.Cuts()
+	if err != nil {
+		return 0, err
+	}
+	seq := uint64(1)
+	if len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+	}
+	final := d.CutPath(seq)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, final)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	d.prune(append(seqs, seq))
+	return seq, nil
+}
+
+// prune removes the oldest cuts beyond Keep. Removal failures are
+// ignored: a stale extra cut is harmless, and the next cut retries.
+func (d *Dir) prune(seqs []uint64) {
+	keep := d.Keep
+	if keep < 1 {
+		keep = 1
+	}
+	for len(seqs) > keep {
+		os.Remove(d.CutPath(seqs[0]))
+		seqs = seqs[1:]
+	}
+}
+
+// LatestValid opens cuts newest-first until validate accepts one,
+// returning its sequence number and validate's result. A cut whose
+// validation fails (torn tail from a crash mid-rename-window, CRC
+// damage) is skipped, not deleted — the next WriteCut rotates past it.
+// ok=false with a nil error means no valid cut exists, the cold-start
+// case.
+func (d *Dir) LatestValid(validate func(seq uint64, r io.Reader) (any, error)) (seq uint64, result any, ok bool, err error) {
+	seqs, err := d.Cuts()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		f, err := os.Open(d.CutPath(seqs[i]))
+		if err != nil {
+			continue
+		}
+		res, verr := validate(seqs[i], f)
+		f.Close()
+		if verr == nil {
+			return seqs[i], res, true, nil
+		}
+	}
+	return 0, nil, false, nil
+}

@@ -1,0 +1,128 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestCut(t *testing.T, d *Dir, payload string) uint64 {
+	t.Helper()
+	seq, err := d.WriteCut(func(w io.Writer) error {
+		sw := NewWriter(w)
+		e := sw.Begin("data")
+		e.String(payload)
+		sw.End()
+		return sw.Close()
+	})
+	if err != nil {
+		t.Fatalf("WriteCut: %v", err)
+	}
+	return seq
+}
+
+// readTestCut validates the container end-to-end and returns the
+// payload string.
+func readTestCut(_ uint64, r io.Reader) (any, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	name, d, err := sr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if name != "data" {
+		return nil, fmt.Errorf("unexpected frame %q", name)
+	}
+	s := d.String()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if _, _, err := sr.Next(); err != io.EOF {
+		return nil, fmt.Errorf("expected clean end marker, got %v", err)
+	}
+	return s, nil
+}
+
+func TestDirRotationAndPrune(t *testing.T) {
+	d := &Dir{Path: filepath.Join(t.TempDir(), "snaps"), Keep: 3}
+
+	// Cold start: no directory, no cuts, no error.
+	if seq, _, ok, err := d.LatestValid(readTestCut); err != nil || ok || seq != 0 {
+		t.Fatalf("cold start: seq=%d ok=%v err=%v", seq, ok, err)
+	}
+
+	for i := 1; i <= 5; i++ {
+		if seq := writeTestCut(t, d, fmt.Sprintf("cut %d", i)); seq != uint64(i) {
+			t.Fatalf("cut %d got sequence %d", i, seq)
+		}
+	}
+	seqs, err := d.Cuts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 3 || seqs[2] != 5 {
+		t.Fatalf("after 5 cuts with Keep=3, have %v", seqs)
+	}
+
+	seq, res, ok, err := d.LatestValid(readTestCut)
+	if err != nil || !ok {
+		t.Fatalf("LatestValid: ok=%v err=%v", ok, err)
+	}
+	if seq != 5 || res.(string) != "cut 5" {
+		t.Fatalf("LatestValid returned seq=%d payload=%v", seq, res)
+	}
+}
+
+func TestDirTornTailFallsBack(t *testing.T) {
+	d := &Dir{Path: filepath.Join(t.TempDir(), "snaps"), Keep: 4}
+	writeTestCut(t, d, "good")
+	writeTestCut(t, d, "newer")
+
+	// Simulate a crash that left a torn newest cut: truncate it.
+	data, err := os.ReadFile(d.CutPath(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.CutPath(2), data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, res, ok, err := d.LatestValid(readTestCut)
+	if err != nil || !ok {
+		t.Fatalf("LatestValid: ok=%v err=%v", ok, err)
+	}
+	if seq != 1 || res.(string) != "good" {
+		t.Fatalf("expected fallback to cut 1, got seq=%d payload=%v", seq, res)
+	}
+
+	// The next cut rotates past the torn one.
+	if seq := writeTestCut(t, d, "recovered"); seq != 3 {
+		t.Fatalf("post-crash cut got sequence %d, want 3", seq)
+	}
+	if seq, res, ok, _ := d.LatestValid(readTestCut); !ok || seq != 3 || res.(string) != "recovered" {
+		t.Fatalf("after recovery: seq=%d ok=%v payload=%v", seq, ok, res)
+	}
+}
+
+func TestDirIgnoresForeignFiles(t *testing.T) {
+	d := &Dir{Path: t.TempDir(), Keep: 2}
+	for _, name := range []string{"README", "cut-.snap", "cut-xyz.snap", "cut-1.tmp"} {
+		if err := os.WriteFile(filepath.Join(d.Path, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := d.Cuts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Fatalf("foreign files leaked into cut list: %v", seqs)
+	}
+	if seq := writeTestCut(t, d, "first"); seq != 1 {
+		t.Fatalf("first cut in dirty dir got sequence %d", seq)
+	}
+}

@@ -8,6 +8,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -170,6 +171,25 @@ func NewCDF(values []float64) *CDF {
 
 // N returns the sample size.
 func (c *CDF) N() int { return len(c.sorted) }
+
+// MarshalJSON renders the CDF as its sorted sample array, so reports
+// carrying CDFs survive a JSON round trip instead of collapsing to an
+// empty object (the fields are unexported by design).
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.sorted)
+}
+
+// UnmarshalJSON restores a CDF marshaled by MarshalJSON. The values
+// are re-sorted, so hand-written input is accepted too.
+func (c *CDF) UnmarshalJSON(data []byte) error {
+	var values []float64
+	if err := json.Unmarshal(data, &values); err != nil {
+		return err
+	}
+	sort.Float64s(values)
+	c.sorted = values
+	return nil
+}
 
 // At returns P(X ≤ x), the fraction of the sample at or below x.
 func (c *CDF) At(x float64) float64 {
