@@ -48,8 +48,18 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/drive/ ./cmd/caranalyze/ ./cmd/carmerge/
 
+# STATICCHECK pins the honnef.co/go/tools version CI installs; vet
+# runs it when the binary is on PATH and degrades to a warning when it
+# is not (the offline dev loop must not require a network install).
+STATICCHECK_VERSION ?= 2024.1.1
+
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it via honnef.co/go/tools@$(STATICCHECK_VERSION))"; \
+	fi
 
 # Gate: the tree must be gofmt-clean.
 fmt:

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -59,8 +60,10 @@ func main() {
 		chaosSpec   = flag.String("chaos", "", "inject worker faults, e.g. kill=0.2,hang=0.1,flip=0.1,seed=7,poison=3 (testing)")
 		workerBin   = flag.String("worker", "", "caranalyze binary to run as workers (default: next to cardrive, then $PATH)")
 		md          = flag.String("md", "", "also write a Markdown report to this file")
-		quiet       = flag.Bool("q", false, "suppress coordinator progress lines")
+		quiet       = flag.Bool("q", false, "suppress coordinator progress records")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		statusAddr  = flag.String("status-addr", "", "serve the live /status shard state machine (plus /metrics and pprof) on this address while running")
+		tracePath   = flag.String("trace", "", "write a JSONL span trace (plan, attempts, merge) to this file")
 
 		days   = flag.Int("days", 28, "study length in days (forwarded to workers)")
 		start  = flag.String("start", "2017-01-02", "study start date YYYY-MM-DD (forwarded to workers)")
@@ -70,6 +73,21 @@ func main() {
 		strict = flag.Bool("strict", false, "abort workers on the first malformed record (forwarded)")
 	)
 	flag.Parse()
+
+	// Everything the coordinator says goes to stderr as structured
+	// JSON under one run id; stdout stays the human-readable report.
+	// -q silences progress records but not errors or server banners.
+	runID := obs.NewRunID()
+	logger := obs.NewLogger(os.Stderr, "cardrive", runID)
+	progress := logger
+	if *quiet {
+		progress = obs.NopLogger()
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	inputs := flag.Args()
 	if len(inputs) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: cardrive [flags] input.cdr...")
@@ -77,37 +95,43 @@ func main() {
 	}
 	startDay, err := time.Parse("2006-01-02", *start)
 	if err != nil {
-		fatal("bad -start date: %v", err)
+		fatal("bad -start date", "err", err.Error())
 	}
 	period := simtime.NewPeriod(startDay, *days)
 
 	worker, err := findWorker(*workerBin)
 	if err != nil {
-		fatal("%v", err)
+		fatal("no worker binary", "err", err.Error())
 	}
 
 	var chaos *drive.Chaos
 	if *chaosSpec != "" {
 		chaos, err = drive.ParseChaos(*chaosSpec)
 		if err != nil {
-			fatal("%v", err)
+			fatal("bad -chaos spec", "err", err.Error())
 		}
+	}
+
+	var trace *obs.Trace
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("open -trace file", "err", err.Error())
+		}
+		defer tf.Close()
+		trace = obs.NewTrace(tf)
 	}
 
 	reg := obs.New()
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
-			fatal("debug server: %v", err)
+			fatal("debug server failed", "err", err.Error())
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "cardrive: debug server on http://%s\n", srv.Addr())
+		logger.Info("debug server listening", "addr", srv.Addr())
 	}
 
-	logw := os.Stderr
-	if *quiet {
-		logw = nil
-	}
 	cfg := drive.Config{
 		Inputs:            inputs,
 		Shards:            *shards,
@@ -124,6 +148,8 @@ func main() {
 		KeepPartials:      *keep,
 		Chaos:             chaos,
 		Obs:               reg,
+		Logger:            progress,
+		Trace:             trace,
 		Tag:               fmt.Sprintf("start=%s days=%d seed=%d tz=%d", *start, *days, *seed, *tz),
 		Command: func(spec drive.WorkerSpec) *exec.Cmd {
 			args := []string{
@@ -143,13 +169,25 @@ func main() {
 			return exec.Command(worker, args...)
 		},
 	}
-	if logw != nil {
-		cfg.Log = logw
-	}
 
 	coord, err := drive.New(cfg)
 	if err != nil {
-		fatal("%v", err)
+		fatal("coordinator setup failed", "err", err.Error())
+	}
+
+	// -status-addr serves the live shard state machine alongside the
+	// metrics registry: /status is the per-shard attempt timeline,
+	// everything else falls through to the usual debug surface.
+	if *statusAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/status", drive.StatusHandler(coord))
+		mux.Handle("/", obs.Handler(reg))
+		srv, err := obs.ServeHandler(*statusAddr, mux)
+		if err != nil {
+			fatal("status server failed", "err", err.Error())
+		}
+		defer srv.Close()
+		logger.Info("status server listening", "addr", srv.Addr())
 	}
 
 	// ^C / SIGTERM cancels the run cleanly: inflight workers are
@@ -166,11 +204,11 @@ func main() {
 
 	res, err := coord.Run(ctx)
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "cardrive: interrupted; journal saved in %s (re-run with -resume to continue)\n", *workdir)
+		logger.Error("interrupted; journal saved, re-run with -resume to continue", "workdir", *workdir)
 		os.Exit(1)
 	}
 	if err != nil {
-		fatal("%v", err)
+		fatal("run failed", "err", err.Error())
 	}
 
 	fmt.Printf("cardrive: %d shards: %d done, %d quarantined | %d attempts (%d retries, %d speculative, %d spec wins) | %.1fs\n\n",
@@ -204,7 +242,7 @@ func main() {
 			Quality:          quality,
 		})
 		if err := os.WriteFile(*md, []byte(doc), 0o644); err != nil {
-			fatal("write %s: %v", *md, err)
+			fatal("write markdown report failed", "path", *md, "err", err.Error())
 		}
 		fmt.Printf("wrote Markdown report to %s\n", *md)
 	}
@@ -301,9 +339,4 @@ func printQuality(q *analysis.DataQuality) {
 		fmt.Printf("  skipped stage %s: %s\n", s.Stage, s.Err)
 	}
 	fmt.Println()
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "cardrive: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"math/rand/v2"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"cellcars/internal/cdr"
+	"cellcars/internal/drive"
 	"cellcars/internal/radio"
 )
 
@@ -78,6 +80,37 @@ func writeWorkload(t *testing.T, path string, n int) {
 	}
 }
 
+// scanAddr reads stderr JSON records until one with the given msg
+// appears, returns its "addr" field, and drains the rest of the pipe
+// in the background. Every stderr line must parse as a JSON record —
+// the structured-logging contract for the coordinator.
+func scanAddr(t *testing.T, stderr io.Reader, msg string) string {
+	t.Helper()
+	var seen []string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		ln := sc.Text()
+		seen = append(seen, ln)
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("stderr line is not a JSON record: %q: %v", ln, err)
+		}
+		if rec["component"] != "cardrive" {
+			t.Fatalf("record missing component=cardrive: %q", ln)
+		}
+		if rid, _ := rec["run_id"].(string); rid == "" {
+			t.Fatalf("record missing run_id: %q", ln)
+		}
+		if rec["msg"] == msg {
+			go io.Copy(io.Discard, stderr)
+			addr, _ := rec["addr"].(string)
+			return addr
+		}
+	}
+	t.Fatalf("no %q record on stderr:\n%s", msg, strings.Join(seen, "\n"))
+	return ""
+}
+
 // TestDebugAddrServesMetrics pins the coordinator's -debug-addr parity
 // with caranalyze: while a distributed run is in flight, the announced
 // address must serve Prometheus metrics, and the run must still finish
@@ -101,41 +134,134 @@ func TestDebugAddrServesMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The banner goes to stderr before shard planning starts, so the
-	// run is guaranteed to still be in flight when we probe it.
-	const banner = "debug server on http://"
-	var addr string
-	var seen []string
-	sc := bufio.NewScanner(stderr)
-	for sc.Scan() {
-		ln := sc.Text()
-		seen = append(seen, ln)
-		if i := strings.Index(ln, banner); i >= 0 {
-			addr = ln[i+len(banner):]
-			break
-		}
-	}
+	// The listening record goes to stderr before shard planning starts,
+	// so the run is guaranteed to still be in flight when we probe it.
+	addr := scanAddr(t, stderr, "debug server listening")
 	if addr == "" {
 		cmd.Wait()
-		t.Fatalf("no debug-server banner on stderr:\n%s", strings.Join(seen, "\n"))
+		t.Fatal("debug-server record has no addr field")
 	}
-	go io.Copy(io.Discard, stderr)
 
-	resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + addr + "/metrics")
-	if err != nil {
-		t.Fatalf("GET /metrics while run in flight: %v", err)
-	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "cellcars_") {
-		t.Fatalf("/metrics: status %d, body:\n%s", resp.StatusCode, body)
+	// The server comes up before the coordinator registers its metrics,
+	// so poll until the registry is populated (still while the run is in
+	// flight — the run itself takes far longer than registration).
+	client := &http.Client{Timeout: 5 * time.Second}
+	var body []byte
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		resp, err := client.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics while run in flight: %v", err)
+		}
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics: status %d, body:\n%s", resp.StatusCode, body)
+		}
+		if strings.Contains(string(body), "cellcars_") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed cellcars_ metrics; last body:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("cardrive run failed: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "== Preprocessing") {
+		t.Fatalf("no report on stdout:\n%s", stdout.String())
+	}
+}
+
+// TestStatusEndpointShowsRetriedShard drives a chaos run with a live
+// -status-addr and proves the /status state machine exposes a retried
+// shard's attempt timeline mid-run: an attempt with outcome "crash"
+// followed by a later attempt on the same shard. The run must still
+// complete with a report despite the injected kills.
+func TestStatusEndpointShowsRetriedShard(t *testing.T) {
+	dir := t.TempDir()
+	worker := buildWorker(t, dir)
+	in := filepath.Join(dir, "cars.cdr")
+	writeWorkload(t, in, 120_000)
+
+	// Chaos is deterministic per (seed, shard, attempt): with seed 5
+	// every shard's first attempt draws a kill, and n=2000 keeps the
+	// kill offset inside each shard's record stream so the kill always
+	// fires. -max-attempts 10 keeps quarantine out of reach so the run
+	// still ends cleanly.
+	cmd := cardrive("-shards", "4", "-parallel", "2", "-worker", worker,
+		"-workdir", filepath.Join(dir, "work"), "-days", "7", "-q",
+		"-chaos", "kill=0.5,n=2000,seed=5", "-max-attempts", "10", "-backoff", "50ms",
+		"-status-addr", "127.0.0.1:0", in)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := scanAddr(t, stderr, "status server listening")
+	if addr == "" {
+		cmd.Wait()
+		t.Fatal("status-server record has no addr field")
+	}
+
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+
+	// Poll /status until a retried shard's timeline shows the crash.
+	// Once a retry launches the pattern persists until process exit, so
+	// polling cannot miss it unless the contract is broken.
+	client := &http.Client{Timeout: 2 * time.Second}
+	var found bool
+	var last drive.Status
+	for !found {
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Fatalf("cardrive chaos run failed: %v\nstdout:\n%s", err, stdout.String())
+			}
+			b, _ := json.MarshalIndent(last, "", "  ")
+			t.Fatalf("run finished before /status showed a retried shard; last status:\n%s", b)
+		default:
+		}
+		resp, err := client.Get("http://" + addr + "/status")
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		var st drive.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /status: %v", err)
+		}
+		last = st
+		for _, sh := range st.Shards {
+			if len(sh.Attempts) >= 2 && sh.Attempts[0].Outcome == "crash" {
+				found = true
+				if sh.Attempts[0].Seconds < 0 {
+					t.Fatalf("crash attempt has negative duration: %+v", sh.Attempts[0])
+				}
+				if sh.Attempts[0].Err == "" {
+					t.Fatalf("crash attempt carries no error detail: %+v", sh.Attempts[0])
+				}
+			}
+		}
+		if st.Phase == "" || st.UpdatedAt.IsZero() {
+			t.Fatalf("status missing phase/updated_at: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := <-exited; err != nil {
+		t.Fatalf("cardrive chaos run failed: %v\nstdout:\n%s", err, stdout.String())
 	}
 	if !strings.Contains(stdout.String(), "== Preprocessing") {
 		t.Fatalf("no report on stdout:\n%s", stdout.String())

@@ -11,11 +11,18 @@
 // Durability: with -snapshots, the daemon writes consistent cuts of
 // every live bucket periodically and on SIGTERM, and a restart warm
 // starts from the newest valid cut, replaying only the post-watermark
-// tail of its inputs. A SIGTERM exit is graceful: final cut, then
-// exit 0.
+// tail of its inputs. A SIGTERM exit is graceful: in-flight requests
+// drain, then a final cut, then exit 0.
+//
+// Observability: every stdout line is one structured JSON log record
+// carrying the component and run_id; request telemetry, freshness SLIs
+// and health-rule state are exported on /metrics; failing health rules
+// (ingest stalled, error budget, snapshot cuts) degrade /readyz to 503
+// with a body naming them. -trace writes a JSONL span trace.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -35,6 +43,10 @@ import (
 	"cellcars/internal/simtime"
 	"cellcars/internal/snapshot"
 )
+
+// shutdownGrace bounds how long a SIGTERM waits for in-flight HTTP
+// requests before closing their connections.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	var (
@@ -54,8 +66,20 @@ func main() {
 		strict     = flag.Bool("strict", false, "abort on the first malformed record")
 		quarantine = flag.String("quarantine", "", "write quarantined records to this file (TSV)")
 		budget     = flag.Float64("budget", 1.0, "error budget, max % of malformed records before aborting (0 aborts on the first, negative disables)")
+
+		tracePath  = flag.String("trace", "", "write a JSONL span trace (ingest, cuts, window composes) to this file")
+		stallAfter = flag.Duration("stall-after", 30*time.Second, "degrade /readyz when ingest is attached but no record arrived for this long (0 disables)")
+		budgetWarn = flag.Float64("budget-degraded", 0.8, "degrade /readyz when this fraction of the ingest error budget is spent (>=1 or <=0 disables)")
 	)
 	flag.Parse()
+
+	runID := obs.NewRunID()
+	logger := obs.NewLogger(os.Stdout, "carqueryd", runID)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	inputs := flag.Args()
 	if len(inputs) == 0 {
 		fatal("no input files (give CDR files as positional arguments)")
@@ -63,16 +87,26 @@ func main() {
 
 	startDay, err := time.Parse("2006-01-02", *start)
 	if err != nil {
-		fatal("bad -start date: %v", err)
+		fatal("bad -start date", "err", err.Error())
 	}
 	period := simtime.NewPeriod(startDay, *days)
 	width, err := parseSpan(*bucket)
 	if err != nil {
-		fatal("bad -bucket: %v", err)
+		fatal("bad -bucket", "err", err.Error())
 	}
 	wins, err := parseWindows(*windows)
 	if err != nil {
-		fatal("bad -windows: %v", err)
+		fatal("bad -windows", "err", err.Error())
+	}
+
+	var trace *obs.Trace
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("open -trace file", "err", err.Error())
+		}
+		defer tf.Close()
+		trace = obs.NewTrace(tf)
 	}
 
 	reg := obs.New()
@@ -89,7 +123,7 @@ func main() {
 	if *quarantine != "" {
 		qf, err := os.Create(*quarantine)
 		if err != nil {
-			fatal("open quarantine file: %v", err)
+			fatal("open quarantine file", "err", err.Error())
 		}
 		qw := cdr.NewQuarantineWriter(qf)
 		ingest.Sink = qw
@@ -115,9 +149,10 @@ func main() {
 		Windows:   wins,
 		Snapshots: dir,
 		Obs:       reg,
+		Trace:     trace,
 	})
 	if err != nil {
-		fatal("%v", err)
+		fatal("bad store configuration", "err", err.Error())
 	}
 
 	// Warm restart: restore the newest valid cut, then replay only the
@@ -126,40 +161,84 @@ func main() {
 	if dir != nil {
 		wm, ok, err := store.Restore()
 		if err != nil {
-			fatal("restore from %s: %v", dir.Path, err)
+			fatal("warm restart failed", "snapshots", dir.Path, "err", err.Error())
 		}
 		if ok {
 			watermark = wm
-			fmt.Printf("carqueryd: warm restart from %s at watermark %d\n", dir.Path, wm)
+			logger.Info("warm restart", "snapshots", dir.Path, "watermark", wm)
 		}
 	}
 
-	srv := query.NewServer(store, reg)
+	// Health rules gate /readyz once the daemon is warm. Rules read
+	// only atomically-safe surfaces (the store's mutex-guarded
+	// freshness SLIs, obs gauge handles), never the ingest reader's
+	// un-synchronized Stats.
+	var ingesting atomic.Bool
+	health := obs.NewHealth(reg)
+	if *stallAfter > 0 {
+		health.Rule("ingest_stalled", func() (bool, string) {
+			age := store.WatermarkAge()
+			if ingesting.Load() && age > *stallAfter {
+				return false, fmt.Sprintf("no record ingested for %v (threshold %v)", age.Round(time.Millisecond), *stallAfter)
+			}
+			return true, ""
+		})
+	}
+	if *budgetWarn > 0 && *budgetWarn < 1 && *budget > 0 {
+		budgetGauge := reg.Gauge("cellcars_ingest_budget_used_ratio")
+		health.Rule("ingest_error_budget", func() (bool, string) {
+			if used := budgetGauge.Value(); used >= *budgetWarn {
+				return false, fmt.Sprintf("%.0f%% of the ingest error budget spent (degraded at %.0f%%)", used*100, *budgetWarn*100)
+			}
+			return true, ""
+		})
+	}
+	if dir != nil {
+		health.Rule("snapshot_cuts", func() (bool, string) {
+			if f := store.Freshness(); f.LastCutError != "" {
+				return false, "last cut failed: " + f.LastCutError
+			}
+			return true, ""
+		})
+	}
+
+	srv := query.NewServerWithOptions(store, reg, query.ServerOptions{
+		Logger: logger,
+		Health: health,
+	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fatal("listen %s: %v", *listen, err)
+		fatal("listen failed", "addr", *listen, "err", err.Error())
 	}
-	// The test harness and operators parse this line for the bound
+	// The test harness and operators read this record for the bound
 	// address, so it goes out before ingest starts.
-	fmt.Printf("carqueryd: listening on http://%s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+	hsrv := &http.Server{Handler: srv}
 	go func() {
-		if err := http.Serve(ln, srv); err != nil && !errors.Is(err, net.ErrClosed) {
-			fatal("http: %v", err)
+		if err := hsrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("http serve failed", "err", err.Error())
 		}
 	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	shutdown := func(when string) {
+		// Drain in-flight requests first so no response is cut off
+		// mid-body, then take the final durable cut.
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		if err := hsrv.Shutdown(sctx); err != nil {
+			logger.Warn("http shutdown did not drain", "err", err.Error())
+		}
+		cancel()
 		if dir != nil {
-			if seq, err := store.Checkpoint(); err != nil {
-				fatal("final cut: %v", err)
-			} else {
-				fmt.Printf("carqueryd: %s; state saved to %s (cut %d, watermark %d)\n",
-					when, dir.Path, seq, store.Watermark())
+			seq, err := store.Checkpoint()
+			if err != nil {
+				fatal("final cut failed", "err", err.Error())
 			}
+			logger.Info("terminated", "when", when, "snapshots", dir.Path,
+				"cut_seq", seq, "watermark", store.Watermark())
 		} else {
-			fmt.Printf("carqueryd: %s\n", when)
+			logger.Info("terminated", "when", when)
 		}
 		os.Exit(0)
 	}
@@ -167,15 +246,18 @@ func main() {
 	rr := cdr.NewResilientReader(openInputs(inputs), ingest)
 	if watermark > 0 {
 		if err := cdr.Skip(rr, watermark); err != nil {
-			fatal("skip %d replayed records: %v", watermark, err)
+			fatal("tail replay skip failed", "skip", watermark, "err", err.Error())
 		}
 	}
 	srv.SetReady(true)
+	ingesting.Store(true)
+	ingestSpan := trace.Start("ingest")
 
 	var sinceCut int64
 	for {
 		select {
 		case <-sigc:
+			ingesting.Store(false)
 			shutdown("terminated mid-ingest")
 		default:
 		}
@@ -184,25 +266,30 @@ func main() {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			fatal("ingest: %v", err)
+			fatal("ingest failed", "err", err.Error())
 		}
 		store.Add(rec)
+		ingestSpan.AddRecords(1)
 		sinceCut++
 		if dir != nil && *snapEvery > 0 && sinceCut >= *snapEvery {
+			// A periodic cut failure is survivable — serving continues
+			// from memory — so it degrades /readyz (snapshot_cuts rule)
+			// instead of killing the daemon.
 			if _, err := store.Checkpoint(); err != nil {
-				fatal("periodic cut: %v", err)
+				logger.Error("periodic cut failed", "err", err.Error())
 			}
 			sinceCut = 0
 		}
 	}
+	ingesting.Store(false)
+	ingestSpan.End()
 	if dir != nil {
 		if _, err := store.Checkpoint(); err != nil {
-			fatal("cut at EOF: %v", err)
+			logger.Error("cut at EOF failed", "err", err.Error())
 		}
 	}
 	istats := rr.Stats()
-	fmt.Printf("carqueryd: drained %d records (%d quarantined); serving\n",
-		store.Watermark(), istats.QuarantinedTotal())
+	logger.Info("drained", "records", store.Watermark(), "quarantined", istats.QuarantinedTotal())
 
 	<-sigc
 	shutdown("terminated")
@@ -282,9 +369,4 @@ func max(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "carqueryd: "+format+"\n", args...)
-	os.Exit(1)
 }

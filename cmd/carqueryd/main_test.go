@@ -11,13 +11,17 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"cellcars/internal/cdr"
+	"cellcars/internal/obs"
 	"cellcars/internal/radio"
 )
 
@@ -104,6 +108,33 @@ func writeCDR(t *testing.T, path string, recs []cdr.Record) {
 	}
 }
 
+// encodeRecords renders records in the binary CDR format in memory.
+// withMagic=false strips the stream magic so batches can be appended
+// to an already-started stream (the FIFO streaming tests).
+func encodeRecords(t *testing.T, recs []cdr.Record, withMagic bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := cdr.NewBinaryWriter(&buf)
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !withMagic {
+		var hdr bytes.Buffer
+		hw := cdr.NewBinaryWriter(&hdr)
+		if err := hw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b = b[hdr.Len():]
+	}
+	return b
+}
+
 // buildCaranalyze compiles the real batch CLI so the e2e comparison is
 // genuinely cross-binary: carqueryd's served bytes against caranalyze
 // -json's stdout, not two calls into the same process.
@@ -120,12 +151,16 @@ func buildCaranalyze(t *testing.T, dir string) string {
 	return bin
 }
 
-// daemon wraps one carqueryd child process.
+// daemon wraps one carqueryd child process. Its stdout is a stream of
+// JSON log records; the harness collects every line and locates the
+// bound address from the "listening" record.
 type daemon struct {
-	cmd   *exec.Cmd
-	addr  string
-	boot  []string // stdout lines seen before the listening banner
-	lines <-chan string
+	cmd  *exec.Cmd
+	addr string
+
+	mu  sync.Mutex
+	out []string
+	eof chan struct{}
 }
 
 func startDaemon(t *testing.T, args ...string) *daemon {
@@ -139,35 +174,72 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	lines := make(chan string, 64)
+	d := &daemon{cmd: cmd, eof: make(chan struct{})}
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
-			lines <- sc.Text()
+			d.mu.Lock()
+			d.out = append(d.out, sc.Text())
+			d.mu.Unlock()
 		}
-		close(lines)
+		close(d.eof)
 	}()
-	d := &daemon{cmd: cmd, lines: lines}
-	deadline := time.After(30 * time.Second)
-	const banner = "listening on http://"
+	deadline := time.Now().Add(30 * time.Second)
 	for d.addr == "" {
+		for _, rec := range d.records(t) {
+			if rec["msg"] == "listening" {
+				addr, _ := rec["addr"].(string)
+				d.addr = addr
+			}
+		}
+		if d.addr != "" {
+			break
+		}
 		select {
-		case ln, ok := <-lines:
-			if !ok {
-				cmd.Wait()
-				t.Fatalf("carqueryd exited before listening; output:\n%s", strings.Join(d.boot, "\n"))
-			}
-			if i := strings.Index(ln, banner); i >= 0 {
-				d.addr = ln[i+len(banner):]
-			} else {
-				d.boot = append(d.boot, ln)
-			}
-		case <-deadline:
+		case <-d.eof:
+			cmd.Wait()
+			t.Fatalf("carqueryd exited before listening; output:\n%s", strings.Join(d.lines(), "\n"))
+		default:
+		}
+		if time.Now().After(deadline) {
 			cmd.Process.Kill()
 			t.Fatal("timeout waiting for carqueryd to listen")
 		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	return d
+}
+
+// lines returns a snapshot of the stdout lines seen so far.
+func (d *daemon) lines() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.out...)
+}
+
+// records parses every stdout line as a JSON log record — the daemon's
+// structured-logging contract: anything unparsable fails the test.
+func (d *daemon) records(t *testing.T) []map[string]any {
+	t.Helper()
+	lns := d.lines()
+	recs := make([]map[string]any, len(lns))
+	for i, ln := range lns {
+		if err := json.Unmarshal([]byte(ln), &recs[i]); err != nil {
+			t.Fatalf("stdout line %d is not a JSON log record: %v\n%s", i+1, err, ln)
+		}
+	}
+	return recs
+}
+
+// record returns the first log record with the given msg, or nil.
+func (d *daemon) record(t *testing.T, msg string) map[string]any {
+	t.Helper()
+	for _, rec := range d.records(t) {
+		if rec["msg"] == msg {
+			return rec
+		}
+	}
+	return nil
 }
 
 // terminate sends SIGTERM and expects a graceful zero exit.
@@ -179,6 +251,7 @@ func (d *daemon) terminate(t *testing.T) {
 	if err := d.cmd.Wait(); err != nil {
 		t.Fatalf("carqueryd did not exit cleanly on SIGTERM: %v", err)
 	}
+	<-d.eof // all stdout flushed into d.out
 }
 
 func (d *daemon) get(t *testing.T, path string) (int, []byte) {
@@ -196,29 +269,49 @@ func (d *daemon) get(t *testing.T, path string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
-// waitDrained polls /stats until the ingest watermark reaches want.
-func (d *daemon) waitDrained(t *testing.T, want int64) {
+// statsBody mirrors the /stats JSON shape the tests care about.
+type statsBody struct {
+	Records   int64 `json:"records"`
+	Freshness struct {
+		WatermarkAgeSeconds float64 `json:"watermark_age_seconds"`
+		RestoredWatermark   int64   `json:"restored_watermark"`
+		TailReplayRecords   int64   `json:"tail_replay_records"`
+		LastCutSeq          uint64  `json:"last_cut_seq"`
+		LastCutAgeSeconds   float64 `json:"last_cut_age_seconds"`
+		LastCutSeconds      float64 `json:"last_cut_seconds"`
+	} `json:"freshness"`
+}
+
+func (d *daemon) stats(t *testing.T) statsBody {
+	t.Helper()
+	code, body := d.get(t, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	var st statsBody
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad /stats body: %v\n%s", err, body)
+	}
+	return st
+}
+
+// waitDrained polls /stats until the ingest watermark reaches want,
+// returning the stats snapshot that reached it.
+func (d *daemon) waitDrained(t *testing.T, want int64) statsBody {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
-		code, body := d.get(t, "/stats")
-		if code == http.StatusOK {
-			var st struct {
-				Records int64 `json:"records"`
-			}
-			if err := json.Unmarshal(body, &st); err != nil {
-				t.Fatalf("bad /stats body: %v\n%s", err, body)
-			}
-			if st.Records == want {
-				return
-			}
-			if st.Records > want {
-				t.Fatalf("/stats records %d, want at most %d", st.Records, want)
-			}
+		st := d.stats(t)
+		if st.Records == want {
+			return st
+		}
+		if st.Records > want {
+			t.Fatalf("/stats records %d, want at most %d", st.Records, want)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatalf("timeout waiting for %d ingested records", want)
+	return statsBody{}
 }
 
 // TestServedReportBitIdenticalToBatch is the tentpole acceptance test:
@@ -288,12 +381,12 @@ func TestServedReportBitIdenticalToBatch(t *testing.T) {
 	// part1 (nothing — it is fully covered by the watermark) plus
 	// part2, and serve the full-input answer.
 	d = startDaemon(t, daemonArgs(part1, part2)...)
-	boot := strings.Join(d.boot, "\n")
-	if !strings.Contains(boot, "warm restart") {
-		t.Fatalf("restarted daemon did not warm restart; boot lines:\n%s", boot)
+	warm := d.record(t, "warm restart")
+	if warm == nil {
+		t.Fatalf("restarted daemon logged no warm restart; output:\n%s", strings.Join(d.lines(), "\n"))
 	}
-	if !strings.Contains(boot, fmt.Sprintf("watermark %d", cut)) {
-		t.Fatalf("warm restart watermark is not %d; boot lines:\n%s", cut, boot)
+	if wm, _ := warm["watermark"].(float64); int64(wm) != int64(cut) {
+		t.Fatalf("warm restart watermark %v, want %d", warm["watermark"], cut)
 	}
 	d.waitDrained(t, int64(len(recs)))
 	code, got := d.get(t, "/report/full?window=24h")
@@ -311,6 +404,343 @@ func TestServedReportBitIdenticalToBatch(t *testing.T) {
 		t.Fatalf("/metrics missing query counters: %d", code)
 	}
 	d.terminate(t)
+}
+
+// TestObservabilityContract drives the full observability story over a
+// FIFO with chaos-injected ingest: request telemetry and cache
+// counters on /metrics, freshness SLIs on /stats, a named health rule
+// degrading /readyz during an ingest stall and recovering after,
+// structured JSON on every stdout line with one correlated run id, a
+// span trace on disk, and — after a SIGTERM and warm restart — the
+// watermark age shrinking and the tail-replay SLI counting exactly the
+// replayed records.
+func TestObservabilityContract(t *testing.T) {
+	dir := t.TempDir()
+	recs := e2eRecords(900)
+	if len(recs) < 700 {
+		t.Fatalf("workload generator produced only %d records", len(recs))
+	}
+	cut := 600
+	partA, tail := recs[:cut], recs[cut:]
+	fifo := filepath.Join(dir, "in.cdr")
+	if err := syscall.Mkfifo(fifo, 0o600); err != nil {
+		t.Fatalf("mkfifo: %v", err)
+	}
+	snaps := filepath.Join(dir, "snaps")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	study := []string{"-start", "2017-03-06", "-days", "1", "-tz", "-5", "-seed", "1"}
+	base := append([]string{"-listen", "127.0.0.1:0", "-bucket", "1h", "-windows", "24h",
+		"-snapshots", snaps, "-snapshot-every", "0", "-budget", "5",
+		"-stall-after", "400ms"}, study...)
+
+	d := startDaemon(t, append(append([]string(nil), base...), "-trace", tracePath, fifo)...)
+
+	// The open blocks until the daemon's reader attaches to the FIFO.
+	w, err := os.OpenFile(fifo, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open fifo for write: %v", err)
+	}
+	feed := func(b []byte) {
+		t.Helper()
+		if _, err := w.Write(b); err != nil {
+			t.Fatalf("write fifo: %v", err)
+		}
+	}
+
+	// Batch 1 with chaos: three well-formed records dated far outside
+	// the study window, which resilient ingest must quarantine as
+	// time-range failures without desyncing the stream.
+	chaos := make([]cdr.Record, 3)
+	for i := range chaos {
+		chaos[i] = cdr.Record{
+			Car:      cdr.CarID(i + 1),
+			Cell:     radio.MakeCellKey(1, 0, radio.C1),
+			Start:    time.Date(2030, 1, 1, i, 0, 0, 0, time.UTC),
+			Duration: time.Minute,
+		}
+	}
+	feed(encodeRecords(t, partA[:300], true))
+	feed(encodeRecords(t, chaos, false))
+	feed(encodeRecords(t, partA[300:550], false))
+	d.waitDrained(t, 550)
+
+	// Request telemetry: two identical report queries — the second is a
+	// cache hit — must show up as latency timings, status-class
+	// counters and cache counters on /metrics.
+	if code, _ := d.get(t, "/report/full?window=24h"); code != http.StatusOK {
+		t.Fatalf("/report/full: %d", code)
+	}
+	if code, _ := d.get(t, "/report/full?window=24h"); code != http.StatusOK {
+		t.Fatalf("/report/full (cached): %d", code)
+	}
+	_, mb := d.get(t, "/metrics")
+	metrics := string(mb)
+	for _, want := range []string{
+		`cellcars_http_request_seconds{endpoint="report/full",quantile="0.5",window="24h"}`,
+		`cellcars_http_responses_total{class="2xx",endpoint="report/full"} 2`,
+		`cellcars_ingest_quarantined_total{class="time-range"} 3`,
+		`cellcars_query_cache_hits_total 1`,
+		`cellcars_query_watermark_age_seconds`,
+		`cellcars_query_tail_replay_records`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Ingest stall: with the FIFO idle past -stall-after, the
+	// ingest_stalled health rule must degrade /readyz to 503 and name
+	// itself in the body.
+	var degraded bool
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := d.get(t, "/readyz")
+		if code == http.StatusServiceUnavailable && strings.Contains(string(body), "rule ingest_stalled:") {
+			degraded = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !degraded {
+		t.Fatal("/readyz never degraded with the ingest_stalled rule during the stall")
+	}
+	if v := promGauge(t, d, "cellcars_health_rule_failing", `rule="ingest_stalled"`); v != 1 {
+		t.Fatalf("failing-rule gauge = %v during stall, want 1", v)
+	}
+	time.Sleep(500 * time.Millisecond) // let the stalled watermark age grow past any replay latency
+	stalledAge := d.stats(t).Freshness.WatermarkAgeSeconds
+	if stalledAge <= 0.4 {
+		t.Fatalf("stalled watermark age %v, want > stall threshold", stalledAge)
+	}
+
+	// Recovery: more records arrive, the rule passes again.
+	feed(encodeRecords(t, partA[550:cut], false))
+	d.waitDrained(t, int64(cut))
+	recovered := false
+	deadline = time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ := d.get(t, "/readyz"); code == http.StatusOK {
+			recovered = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("/readyz never recovered after ingest resumed")
+	}
+
+	// EOF → cut at EOF → drained record; then a graceful SIGTERM.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for d.record(t, "drained") == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never logged the drained record after FIFO EOF")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	d.terminate(t)
+
+	// Every stdout line is structured JSON under one run id, and the
+	// request logs carry correlated request ids.
+	runIDs := map[string]bool{}
+	sawRequestLog := false
+	for _, rec := range d.records(t) {
+		if rec["component"] != "carqueryd" {
+			t.Fatalf("log record with component %v, want carqueryd: %v", rec["component"], rec)
+		}
+		id, _ := rec["run_id"].(string)
+		if id == "" {
+			t.Fatalf("log record missing run_id: %v", rec)
+		}
+		runIDs[id] = true
+		if rec["msg"] == "http request" {
+			sawRequestLog = true
+			if rid, _ := rec["request_id"].(string); rid == "" {
+				t.Fatalf("http request log without request_id: %v", rec)
+			}
+			if _, ok := rec["endpoint"]; !ok {
+				t.Fatalf("http request log without endpoint: %v", rec)
+			}
+		}
+	}
+	if len(runIDs) != 1 {
+		t.Fatalf("log records carry %d distinct run ids, want 1: %v", len(runIDs), runIDs)
+	}
+	if !sawRequestLog {
+		t.Fatal("no http request log records")
+	}
+
+	// The span trace on disk is JSONL covering ingest, snapshot cuts
+	// and window composes.
+	tb, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]bool{}
+	for i, ln := range strings.Split(strings.TrimSpace(string(tb)), "\n") {
+		var span struct {
+			Span string `json:"span"`
+		}
+		if err := json.Unmarshal([]byte(ln), &span); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		spans[span.Span] = true
+	}
+	for _, want := range []string{"ingest", "cut", "compose:full/24h"} {
+		if !spans[want] {
+			t.Fatalf("trace missing span %q; saw %v", want, spans)
+		}
+	}
+
+	// Warm restart from the final cut with a tail of new records: the
+	// tail-replay SLI counts exactly the new records and the watermark
+	// age collapses from the stalled value to fresh.
+	goodA := filepath.Join(dir, "goodA.cdr")
+	tailF := filepath.Join(dir, "tail.cdr")
+	writeCDR(t, goodA, partA)
+	writeCDR(t, tailF, tail)
+	d = startDaemon(t, append(append([]string(nil), base...), goodA, tailF)...)
+	warm := d.record(t, "warm restart")
+	if warm == nil {
+		t.Fatalf("no warm restart after chaos run; output:\n%s", strings.Join(d.lines(), "\n"))
+	}
+	st := d.waitDrained(t, int64(len(recs)))
+	if st.Freshness.RestoredWatermark != int64(cut) {
+		t.Fatalf("restored watermark SLI %d, want %d", st.Freshness.RestoredWatermark, cut)
+	}
+	if st.Freshness.TailReplayRecords != int64(len(tail)) {
+		t.Fatalf("tail replay SLI %d, want %d", st.Freshness.TailReplayRecords, len(tail))
+	}
+	if st.Freshness.WatermarkAgeSeconds >= stalledAge {
+		t.Fatalf("watermark age %v after replay, want below the stalled %v", st.Freshness.WatermarkAgeSeconds, stalledAge)
+	}
+	if st.Freshness.LastCutSeq == 0 || st.Freshness.LastCutAgeSeconds < 0 {
+		t.Fatalf("cut SLIs not populated after EOF cut: %+v", st.Freshness)
+	}
+	d.terminate(t)
+}
+
+// promGauge scrapes /metrics and returns the value of one gauge series
+// identified by name and a label-pair substring.
+func promGauge(t *testing.T, d *daemon, name, label string) float64 {
+	t.Helper()
+	_, body := d.get(t, "/metrics")
+	for _, ln := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(ln, name) && strings.Contains(ln, label) {
+			fields := strings.Fields(ln)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("bad gauge line %q: %v", ln, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no series %s{%s} on /metrics", name, label)
+	return 0
+}
+
+// TestMetricsExpositionUnderLoad hammers a live daemon from concurrent
+// clients while scraping /metrics, and validates that every scrape is
+// well-formed Prometheus text format and every metric name passes the
+// cellcars_<area>_<name> lint. Run under -race this also exercises the
+// registry, middleware, health and freshness paths for data races.
+func TestMetricsExpositionUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.cdr")
+	recs := e2eRecords(3000)
+	writeCDR(t, in, recs)
+	d := startDaemon(t, "-listen", "127.0.0.1:0", "-bucket", "1h", "-windows", "24h,6h",
+		"-start", "2017-03-06", "-days", "1", "-tz", "-5", in)
+	d.waitDrained(t, int64(len(recs)))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	paths := []string{
+		"/report/full?window=24h", "/report/full?window=6h", "/report/presence?window=24h",
+		"/stats", "/windows", "/healthz", "/readyz", "/nope", "/report/bogus?window=24h",
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get("http://" + d.addr + paths[(i+j)%len(paths)])
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 25; i++ {
+		code, body := d.get(t, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics scrape %d: status %d", i, code)
+		}
+		validatePromText(t, string(body))
+	}
+	close(stop)
+	wg.Wait()
+	d.terminate(t)
+}
+
+var (
+	promTypeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (NaN|[+-]Inf|[-+0-9.eE]+)$`)
+	promLabelRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$`)
+)
+
+// validatePromText checks one /metrics body against the Prometheus
+// text exposition format and the repo metric-name convention.
+func validatePromText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for n, ln := range strings.Split(body, "\n") {
+		if ln == "" {
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			m := promTypeRE.FindStringSubmatch(ln)
+			if m == nil {
+				t.Fatalf("metrics line %d: malformed comment %q", n+1, ln)
+			}
+			typed[m[1]] = true
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(ln)
+		if m == nil {
+			t.Fatalf("metrics line %d: malformed sample %q", n+1, ln)
+		}
+		name := m[1]
+		// Summary series reuse their base name (quantiles) or append
+		// _sum/_count; the base must have a preceding # TYPE line and
+		// pass the naming lint.
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Fatalf("metrics line %d: sample %q before its # TYPE line", n+1, name)
+		}
+		if !obs.ValidName(base) {
+			t.Fatalf("metrics line %d: name %q violates the cellcars_<area>_<name> convention", n+1, base)
+		}
+		if m[2] != "" {
+			for _, pair := range strings.Split(m[2], ",") {
+				if !promLabelRE.MatchString(pair) {
+					t.Fatalf("metrics line %d: malformed label %q", n+1, pair)
+				}
+			}
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			t.Fatalf("metrics line %d: bad value in %q: %v", n+1, ln, err)
+		}
+	}
 }
 
 // TestDaemonRejectsBadFlags covers the fail-fast paths: they must

@@ -16,7 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"math"
 	"math/rand/v2"
 	"os"
@@ -109,8 +109,11 @@ type Config struct {
 	// Obs receives coordinator metrics (attempts, retries, speculative
 	// wins, quarantined shards, merge fan-in). Nil disables.
 	Obs *obs.Registry
-	// Log receives human-readable progress lines. Nil discards.
-	Log io.Writer
+	// Logger receives structured progress records (shard launches,
+	// failures, quarantines, merge). Nil discards.
+	Logger *slog.Logger
+	// Trace, when non-nil, receives plan/attempt/merge spans.
+	Trace *obs.Trace
 }
 
 // WorkerSpec is what Command receives to build one attempt's process.
@@ -213,6 +216,8 @@ type shardRun struct {
 // Run once.
 type Coordinator struct {
 	cfg     Config
+	log     *slog.Logger
+	board   *statusBoard
 	met     driveMetrics
 	jr      *journal
 	shards  []*shardRun
@@ -292,8 +297,8 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.JournalPath == "" {
 		cfg.JournalPath = filepath.Join(cfg.WorkDir, "journal.jsonl")
 	}
-	if cfg.Log == nil {
-		cfg.Log = io.Discard
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	seed := cfg.JitterSeed
 	if seed == 0 {
@@ -301,6 +306,8 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:     cfg,
+		log:     cfg.Logger,
+		board:   newStatusBoard(cfg.Shards),
 		met:     newDriveMetrics(cfg.Obs),
 		rng:     rand.New(rand.NewPCG(seed, 0xD21FE)),
 		results: make(chan attemptResult, cfg.Parallel*2+4),
@@ -316,10 +323,6 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	fmt.Fprintf(c.cfg.Log, "cardrive: "+format+"\n", args...)
-}
-
 // Run executes the schedule until every shard is done or quarantined,
 // then tree-merges the completed partials. Cancelling ctx kills all
 // inflight workers and returns ctx.Err(); the journal allows a later
@@ -333,7 +336,9 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	defer c.jr.Close()
+	c.cfg.Trace.Emit("plan", time.Since(t0), int64(c.cfg.Shards))
 
+	c.board.setPhase("running")
 	if err := c.schedule(ctx); err != nil {
 		return nil, err
 	}
@@ -342,6 +347,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 	if len(done) == 0 {
 		return nil, errors.New("drive: every shard was quarantined; nothing to merge")
 	}
+	c.board.setPhase("merging")
 	partial, err := c.mergeDone(done)
 	if err != nil {
 		return nil, err
@@ -351,6 +357,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 	}
 	c.finishResult(partial, t0)
 	c.cleanup(done)
+	c.board.setPhase("done")
 	return &c.res, nil
 }
 
@@ -444,7 +451,7 @@ func (c *Coordinator) replay() error {
 		}
 		// Trust but verify: the snapshot must still exist and parse.
 		if _, err := c.validateSnapshot(s.final); err != nil {
-			c.logf("resume: shard %d snapshot invalid (%v); re-planning", s.id, err)
+			c.log.Warn("resume: shard snapshot invalid; re-planning", "shard", s.id, "err", err.Error())
 			s.state = shardPending
 			s.hasStats = false
 			replanned++
@@ -452,8 +459,10 @@ func (c *Coordinator) replay() error {
 		}
 		resumedDone++
 	}
-	c.logf("resume: %d shards already done, %d re-planned, %d quarantined",
-		resumedDone, replanned, c.quarantinedCount())
+	for _, s := range c.shards {
+		c.board.noteShard(s.id, s.state, s.failures, time.Time{})
+	}
+	c.log.Info("resume", "done", resumedDone, "replanned", replanned, "quarantined", c.quarantinedCount())
 	return nil
 }
 
@@ -594,11 +603,12 @@ func (c *Coordinator) launch(s *shardRun, speculative bool) error {
 	if err := c.jr.emit(journalEvent{Event: evAttempt, Shard: s.id, Attempt: n, Speculative: speculative}); err != nil {
 		return err
 	}
+	c.board.noteLaunch(s.id, n, speculative, a.start)
 	if err := cmd.Start(); err != nil {
 		// Spawn failure is a crash-class failure of this attempt, not
 		// a coordinator error: the retry/quarantine machinery owns it.
-		c.logf("shard %d attempt %d failed to start: %v", s.id, n, err)
-		return c.fail(s, a, ClassCrash, fmt.Sprintf("start worker: %v", err))
+		c.log.Error("worker failed to start", "shard", s.id, "attempt", n, "err", err.Error())
+		return c.failAttempt(s, a, 0, ClassCrash, fmt.Sprintf("start worker: %v", err))
 	}
 	s.state = shardRunning
 	s.inflight[a] = true
@@ -611,7 +621,7 @@ func (c *Coordinator) launch(s *shardRun, speculative bool) error {
 	if speculative {
 		c.res.SpeculativeLaunches++
 		inc(c.met.specLaunch)
-		c.logf("shard %d: speculative attempt %d launched (straggler)", s.id, n)
+		c.log.Info("speculative attempt launched", "shard", s.id, "attempt", n)
 	}
 	if c.cfg.AttemptTimeout > 0 {
 		a.timer = time.AfterFunc(c.cfg.AttemptTimeout, func() {
@@ -636,11 +646,12 @@ func (c *Coordinator) handleResult(res attemptResult) error {
 	if a.canceled {
 		os.Remove(a.out)
 		c.met.attempt("canceled")
+		c.board.noteOutcome(a.shard, a.n, "canceled", "", res.dur)
 		return nil
 	}
 	if a.timedOut.Load() {
 		os.Remove(a.out)
-		return c.fail(s, a, ClassTimeout, fmt.Sprintf("attempt exceeded %s", c.cfg.AttemptTimeout))
+		return c.failAttempt(s, a, res.dur, ClassTimeout, fmt.Sprintf("attempt exceeded %s", c.cfg.AttemptTimeout))
 	}
 	if res.waitErr != nil {
 		os.Remove(a.out)
@@ -648,13 +659,13 @@ func (c *Coordinator) handleResult(res attemptResult) error {
 		if tail := lastLines(a.stderr.Bytes(), 3); tail != "" {
 			msg += ": " + tail
 		}
-		return c.fail(s, a, ClassCrash, msg)
+		return c.failAttempt(s, a, res.dur, ClassCrash, msg)
 	}
 
 	p, err := c.validateSnapshot(a.out)
 	if err != nil {
 		os.Remove(a.out)
-		return c.fail(s, a, ClassBadSnapshot, err.Error())
+		return c.failAttempt(s, a, res.dur, ClassBadSnapshot, err.Error())
 	}
 
 	if s.state == shardDone {
@@ -662,6 +673,7 @@ func (c *Coordinator) handleResult(res attemptResult) error {
 		// redundant.
 		os.Remove(a.out)
 		c.met.attempt("canceled")
+		c.board.noteOutcome(a.shard, a.n, "canceled", "", res.dur)
 		return nil
 	}
 	return c.promote(s, a, res, p)
@@ -683,12 +695,15 @@ func (c *Coordinator) promote(s *shardRun, a *attempt, res attemptResult, p *ana
 	c.met.attempt("ok")
 	c.met.observeAttempt(res.dur)
 	c.met.setDone(c.doneCount())
+	c.board.noteOutcome(a.shard, a.n, "ok", "", res.dur)
+	c.board.noteShard(s.id, shardDone, s.failures, time.Time{})
+	c.cfg.Trace.Emit(fmt.Sprintf("attempt:%d.%d", a.shard, a.n), res.dur, st.Records)
 	if a.speculative {
 		c.res.SpeculativeWins++
 		inc(c.met.specWins)
-		c.logf("shard %d: speculative attempt %d won in %.2fs", s.id, a.n, res.dur.Seconds())
+		c.log.Info("speculative attempt won", "shard", s.id, "attempt", a.n, "seconds", res.dur.Seconds())
 	} else {
-		c.logf("shard %d done in %.2fs (attempt %d, %d records)", s.id, res.dur.Seconds(), a.n, st.Records)
+		c.log.Info("shard done", "shard", s.id, "attempt", a.n, "seconds", res.dur.Seconds(), "records", st.Records)
 	}
 	// Kill the losing siblings; their results are reaped as canceled.
 	for sib := range s.inflight {
@@ -706,6 +721,14 @@ func (c *Coordinator) promote(s *shardRun, a *attempt, res attemptResult, p *ana
 	})
 }
 
+// failAttempt settles a failed attempt on the status board and run
+// trace, then hands off to fail for the retry/quarantine decision.
+func (c *Coordinator) failAttempt(s *shardRun, a *attempt, dur time.Duration, class, msg string) error {
+	c.board.noteOutcome(a.shard, a.n, class, msg, dur)
+	c.cfg.Trace.Emit(fmt.Sprintf("attempt:%d.%d", a.shard, a.n), dur, 0)
+	return c.fail(s, a, class, msg)
+}
+
 // fail records a failed attempt, schedules the retry or quarantines
 // the shard once its budget is spent.
 func (c *Coordinator) fail(s *shardRun, a *attempt, class, msg string) error {
@@ -720,7 +743,7 @@ func (c *Coordinator) fail(s *shardRun, a *attempt, class, msg string) error {
 	if st, ok := parseWorkerStats(a.stdout.Bytes()); ok && st.Records > s.stats.Records {
 		s.stats.Records = st.Records
 	}
-	c.logf("shard %d attempt %d failed (%s): %s", s.id, a.n, class, msg)
+	c.log.Warn("attempt failed", "shard", s.id, "attempt", a.n, "class", class, "err", msg)
 	if err := c.jr.emit(journalEvent{
 		Event: evFail, Shard: s.id, Attempt: a.n, Class: class, Err: msg,
 		Records: s.stats.Records, Failures: s.failures,
@@ -740,6 +763,9 @@ func (c *Coordinator) fail(s *shardRun, a *attempt, class, msg string) error {
 		s.state = shardPending
 		s.speculated = false
 		s.nextTry = time.Now().Add(c.backoff(s.failures))
+		c.board.noteShard(s.id, shardPending, s.failures, s.nextTry)
+	} else {
+		c.board.noteShard(s.id, s.state, s.failures, time.Time{})
 	}
 	return nil
 }
@@ -748,7 +774,9 @@ func (c *Coordinator) fail(s *shardRun, a *attempt, class, msg string) error {
 func (c *Coordinator) quarantine(s *shardRun) error {
 	s.state = shardQuarantined
 	inc(c.met.quarantined)
-	c.logf("shard %d QUARANTINED after %d failed attempts (last: %s: %s)", s.id, s.failures, s.lastClass, s.lastErr)
+	c.board.noteShard(s.id, shardQuarantined, s.failures, time.Time{})
+	c.log.Error("shard quarantined", "shard", s.id, "failures", s.failures,
+		"last_class", s.lastClass, "last_err", s.lastErr)
 	return c.jr.emit(journalEvent{Event: evQuarantine, Shard: s.id, Failures: s.failures})
 }
 

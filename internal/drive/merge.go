@@ -55,7 +55,8 @@ func (c *Coordinator) mergeDone(done []*shardRun) (*analysis.Partial, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.logf("merged %d shards in %d levels (%.2fs)", len(done), level+1, time.Since(t0).Seconds())
+	c.cfg.Trace.Emit("merge", time.Since(t0), p.Records())
+	c.log.Info("merged", "shards", len(done), "levels", level+1, "seconds", time.Since(t0).Seconds())
 	return p, nil
 }
 

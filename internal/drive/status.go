@@ -1,0 +1,177 @@
+package drive
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AttemptStatus is one worker attempt on a shard's timeline.
+type AttemptStatus struct {
+	Attempt     int       `json:"attempt"`
+	Speculative bool      `json:"speculative,omitempty"`
+	Started     time.Time `json:"started"`
+	// Outcome is empty while the attempt is running, then one of
+	// "ok", "crash", "timeout", "bad-snapshot" or "canceled".
+	Outcome string  `json:"outcome,omitempty"`
+	Err     string  `json:"err,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// ShardStatus is one shard's live state-machine view.
+type ShardStatus struct {
+	Shard    int    `json:"shard"`
+	State    string `json:"state"` // pending | running | done | quarantined
+	Failures int    `json:"failures"`
+	// NextTry is the backoff expiry for a pending retry, omitted
+	// otherwise.
+	NextTry  *time.Time      `json:"next_try,omitempty"`
+	Attempts []AttemptStatus `json:"attempts,omitempty"`
+}
+
+// Status is the coordinator's live run snapshot, served as JSON by
+// StatusHandler.
+type Status struct {
+	Phase       string        `json:"phase"` // planning | running | merging | done
+	Shards      []ShardStatus `json:"shards"`
+	Done        int           `json:"done"`
+	Quarantined int           `json:"quarantined"`
+	Inflight    int           `json:"inflight"`
+	Attempts    int           `json:"attempts"`
+	UpdatedAt   time.Time     `json:"updated_at"`
+}
+
+// statusBoard is an event-sourced copy of the schedule-loop state,
+// updated at coordinator event points under its own mutex so HTTP
+// readers never contend with (or race against) the schedule loop.
+type statusBoard struct {
+	mu     sync.Mutex
+	phase  string
+	shards []ShardStatus
+	total  int // attempts launched
+}
+
+func newStatusBoard(shards int) *statusBoard {
+	b := &statusBoard{phase: "planning", shards: make([]ShardStatus, shards)}
+	for i := range b.shards {
+		b.shards[i] = ShardStatus{Shard: i, State: "pending"}
+	}
+	return b
+}
+
+func (b *statusBoard) setPhase(p string) {
+	b.mu.Lock()
+	b.phase = p
+	b.mu.Unlock()
+}
+
+func stateName(s shardState) string {
+	switch s {
+	case shardRunning:
+		return "running"
+	case shardDone:
+		return "done"
+	case shardQuarantined:
+		return "quarantined"
+	default:
+		return "pending"
+	}
+}
+
+// noteLaunch appends a running attempt to the shard's timeline.
+func (b *statusBoard) noteLaunch(shard, attempt int, speculative bool, start time.Time) {
+	b.mu.Lock()
+	s := &b.shards[shard]
+	s.State = "running"
+	s.NextTry = nil
+	s.Attempts = append(s.Attempts, AttemptStatus{
+		Attempt:     attempt,
+		Speculative: speculative,
+		Started:     start,
+	})
+	b.total++
+	b.mu.Unlock()
+}
+
+// noteOutcome settles one attempt on the timeline.
+func (b *statusBoard) noteOutcome(shard, attempt int, outcome, errMsg string, dur time.Duration) {
+	b.mu.Lock()
+	s := &b.shards[shard]
+	for i := range s.Attempts {
+		if s.Attempts[i].Attempt == attempt {
+			s.Attempts[i].Outcome = outcome
+			s.Attempts[i].Err = errMsg
+			s.Attempts[i].Seconds = dur.Seconds()
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// noteShard updates a shard's state-machine fields.
+func (b *statusBoard) noteShard(shard int, state shardState, failures int, nextTry time.Time) {
+	b.mu.Lock()
+	s := &b.shards[shard]
+	s.State = stateName(state)
+	s.Failures = failures
+	if state == shardPending && !nextTry.IsZero() {
+		t := nextTry
+		s.NextTry = &t
+	} else {
+		s.NextTry = nil
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns a deep copy of the board.
+func (b *statusBoard) snapshot() Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Status{
+		Phase:     b.phase,
+		Shards:    make([]ShardStatus, len(b.shards)),
+		Attempts:  b.total,
+		UpdatedAt: time.Now(),
+	}
+	for i, s := range b.shards {
+		cp := s
+		cp.Attempts = append([]AttemptStatus(nil), s.Attempts...)
+		if s.NextTry != nil {
+			t := *s.NextTry
+			cp.NextTry = &t
+		}
+		st.Shards[i] = cp
+		switch s.State {
+		case "done":
+			st.Done++
+		case "quarantined":
+			st.Quarantined++
+		}
+		for _, a := range cp.Attempts {
+			if a.Outcome == "" {
+				st.Inflight++
+			}
+		}
+	}
+	return st
+}
+
+// Status returns a point-in-time snapshot of the run: per-shard state
+// machines with full attempt timelines. Safe to call from any
+// goroutine while Run is in flight.
+func (c *Coordinator) Status() Status { return c.board.snapshot() }
+
+// StatusHandler serves the coordinator's live Status as JSON — the
+// body behind cardrive's -status-addr /status endpoint.
+func StatusHandler(c *Coordinator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := json.MarshalIndent(c.Status(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
+	})
+}

@@ -1,0 +1,97 @@
+package drive
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStatusBoardTimeline drives the board through a retry-and-recover
+// sequence and checks the snapshot's derived counters and deep-copy
+// semantics.
+func TestStatusBoardTimeline(t *testing.T) {
+	b := newStatusBoard(3)
+	st := b.snapshot()
+	if st.Phase != "planning" || len(st.Shards) != 3 {
+		t.Fatalf("fresh board: %+v", st)
+	}
+	for _, sh := range st.Shards {
+		if sh.State != "pending" || len(sh.Attempts) != 0 {
+			t.Fatalf("fresh shard not pending/empty: %+v", sh)
+		}
+	}
+
+	b.setPhase("running")
+	t0 := time.Date(2017, 1, 2, 9, 0, 0, 0, time.UTC)
+	b.noteLaunch(1, 0, false, t0)
+	st = b.snapshot()
+	if st.Inflight != 1 || st.Attempts != 1 || st.Shards[1].State != "running" {
+		t.Fatalf("after launch: %+v", st)
+	}
+
+	// First attempt crashes: outcome settles, shard returns to pending
+	// with a backoff expiry.
+	retry := t0.Add(400 * time.Millisecond)
+	b.noteOutcome(1, 0, "crash", "signal: killed", 250*time.Millisecond)
+	b.noteShard(1, shardPending, 1, retry)
+	st = b.snapshot()
+	sh := st.Shards[1]
+	if st.Inflight != 0 || sh.State != "pending" || sh.Failures != 1 {
+		t.Fatalf("after crash: %+v", st)
+	}
+	if sh.NextTry == nil || !sh.NextTry.Equal(retry) {
+		t.Fatalf("backoff expiry not exposed: %+v", sh)
+	}
+	a := sh.Attempts[0]
+	if a.Outcome != "crash" || a.Err != "signal: killed" || a.Seconds != 0.25 {
+		t.Fatalf("crash attempt: %+v", a)
+	}
+
+	// Retry succeeds: timeline keeps both attempts, NextTry clears.
+	b.noteLaunch(1, 1, false, retry)
+	b.noteOutcome(1, 1, "ok", "", 300*time.Millisecond)
+	b.noteShard(1, shardDone, 1, time.Time{})
+	b.setPhase("done")
+	st = b.snapshot()
+	sh = st.Shards[1]
+	if st.Done != 1 || sh.State != "done" || sh.NextTry != nil {
+		t.Fatalf("after retry: %+v", st)
+	}
+	if len(sh.Attempts) != 2 || sh.Attempts[0].Outcome != "crash" || sh.Attempts[1].Outcome != "ok" {
+		t.Fatalf("timeline lost the crash attempt: %+v", sh.Attempts)
+	}
+
+	// The snapshot must be a deep copy: mutating it cannot leak back.
+	st.Shards[1].Attempts[0].Outcome = "mutated"
+	if got := b.snapshot().Shards[1].Attempts[0].Outcome; got != "crash" {
+		t.Fatalf("snapshot aliases board state: %q", got)
+	}
+
+	// The wire shape is stable JSON with snake_case keys.
+	body, err := json.Marshal(b.snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"phase"`, `"shards"`, `"attempts"`, `"updated_at"`} {
+		if !strings.Contains(string(body), key) {
+			t.Fatalf("status JSON missing %s:\n%s", key, body)
+		}
+	}
+}
+
+// TestStatusBoardQuarantine pins the quarantined counter and state
+// naming.
+func TestStatusBoardQuarantine(t *testing.T) {
+	b := newStatusBoard(2)
+	b.noteLaunch(0, 0, false, time.Now())
+	b.noteOutcome(0, 0, "bad-snapshot", "checksum mismatch", time.Second)
+	b.noteShard(0, shardQuarantined, 3, time.Time{})
+	st := b.snapshot()
+	if st.Quarantined != 1 || st.Shards[0].State != "quarantined" {
+		t.Fatalf("quarantine not reflected: %+v", st)
+	}
+	if stateName(shardRunning) != "running" || stateName(shardPending) != "pending" {
+		t.Fatal("stateName mapping broken")
+	}
+}

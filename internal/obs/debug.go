@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // expvarReg holds the registry published under the process-global
@@ -68,12 +70,19 @@ type DebugServer struct {
 // served on a background goroutine. It also publishes the registry via
 // expvar.
 func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	PublishExpvar(reg)
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler starts a background HTTP server with an arbitrary
+// handler — the building block behind Serve and the coordinator's
+// /status endpoint server.
+func ServeHandler(addr string, h http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
 	}
-	PublishExpvar(reg)
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return &DebugServer{ln: ln, srv: srv}, nil
 }
@@ -81,5 +90,19 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 // Addr returns the bound listener address.
 func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *DebugServer) Close() error { return s.srv.Close() }
+// shutdownGrace bounds how long Close waits for in-flight requests. A
+// scrape or pprof capture gets to finish; a stuck client does not hold
+// shutdown hostage.
+const shutdownGrace = 5 * time.Second
+
+// Close shuts the server down gracefully: the listener stops accepting
+// immediately, in-flight requests get up to shutdownGrace to drain,
+// and only then are remaining connections closed hard.
+func (s *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -4,7 +4,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestDebugServer(t *testing.T) {
@@ -64,5 +66,55 @@ func TestDebugServer(t *testing.T) {
 	resp, _ = get("/nope")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/nope status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDebugServerGracefulClose pins the shutdown contract: Close must
+// drain an in-flight request (here a 1-second pprof execution trace)
+// instead of hard-closing its connection mid-response.
+func TestDebugServerGracefulClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	var (
+		wg       sync.WaitGroup
+		status   int
+		getErr   error
+		bodySize int
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			getErr = err
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			getErr = err
+			return
+		}
+		status, bodySize = resp.StatusCode, len(body)
+	}()
+	<-started
+	time.Sleep(200 * time.Millisecond) // let the trace request reach the handler
+	t0 := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	wg.Wait()
+	if getErr != nil {
+		t.Fatalf("in-flight request was cut off by Close: %v", getErr)
+	}
+	if status != http.StatusOK || bodySize == 0 {
+		t.Fatalf("in-flight request: status %d, %d bytes; want a complete 200", status, bodySize)
+	}
+	if waited := time.Since(t0); waited < 500*time.Millisecond {
+		t.Fatalf("Close returned after %v; it cannot have drained the 1s trace", waited)
 	}
 }

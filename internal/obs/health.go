@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Health evaluates named readiness rules on demand. A rule is a
+// closure over live service state ("watermark age under 30s", "ingest
+// error budget under 80% consumed", "last snapshot cut succeeded");
+// every /readyz probe runs all rules and a degraded answer names
+// exactly which rules are failing and why — the difference between a
+// page that says "not ready" and one that says what to fix.
+//
+// Rule evaluation also drives the cellcars_health_rule_failing{rule=…}
+// gauge (1 = failing) when the Health was built over a registry, so
+// dashboards see the same rule state the probe reports.
+type Health struct {
+	mu    sync.Mutex
+	rules []healthRule
+	reg   *Registry
+}
+
+type healthRule struct {
+	name  string
+	check func() (ok bool, detail string)
+}
+
+// RuleResult is one rule's evaluation outcome.
+type RuleResult struct {
+	Rule   string `json:"rule"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewHealth returns an empty rule set. reg may be nil (no gauges).
+func NewHealth(reg *Registry) *Health {
+	return &Health{reg: reg}
+}
+
+// Rule registers one named rule. check returns ok plus a short detail
+// string (shown on the degraded /readyz body when failing). Rules are
+// evaluated in registration order. A nil *Health is a no-op.
+func (h *Health) Rule(name string, check func() (ok bool, detail string)) {
+	if h == nil || check == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rules = append(h.rules, healthRule{name: name, check: check})
+}
+
+// Eval runs every rule and returns the results in registration order,
+// updating the per-rule failing gauges. A nil *Health returns nil.
+func (h *Health) Eval() []RuleResult {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	rules := append([]healthRule(nil), h.rules...)
+	reg := h.reg
+	h.mu.Unlock()
+	out := make([]RuleResult, 0, len(rules))
+	for _, r := range rules {
+		ok, detail := r.check()
+		out = append(out, RuleResult{Rule: r.name, OK: ok, Detail: detail})
+		if reg != nil {
+			v := 0.0
+			if !ok {
+				v = 1.0
+			}
+			reg.Gauge("cellcars_health_rule_failing", Label{Key: "rule", Value: r.name}).Set(v)
+		}
+	}
+	return out
+}
+
+// Failing filters an Eval result down to the failing rules.
+func Failing(results []RuleResult) []RuleResult {
+	var out []RuleResult
+	for _, r := range results {
+		if !r.OK {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RenderDegraded formats the plain-text degraded probe body: a
+// "degraded" headline plus one "rule <name>: <detail>" line per
+// failing rule.
+func RenderDegraded(failing []RuleResult) string {
+	var b strings.Builder
+	b.WriteString("degraded\n")
+	for _, r := range failing {
+		fmt.Fprintf(&b, "rule %s: %s\n", r.Rule, r.Detail)
+	}
+	return b.String()
+}

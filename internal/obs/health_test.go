@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHealthRules(t *testing.T) {
+	reg := New()
+	h := NewHealth(reg)
+	stale := true
+	h.Rule("staleness", func() (bool, string) {
+		if stale {
+			return false, "watermark 45s old (threshold 30s)"
+		}
+		return true, ""
+	})
+	h.Rule("error_budget", func() (bool, string) { return true, "" })
+
+	res := h.Eval()
+	if len(res) != 2 {
+		t.Fatalf("Eval returned %d results, want 2", len(res))
+	}
+	failing := Failing(res)
+	if len(failing) != 1 || failing[0].Rule != "staleness" {
+		t.Fatalf("failing = %+v, want just staleness", failing)
+	}
+	body := RenderDegraded(failing)
+	if !strings.HasPrefix(body, "degraded\n") || !strings.Contains(body, "rule staleness: watermark 45s old") {
+		t.Fatalf("degraded body:\n%s", body)
+	}
+	if v := reg.Gauge("cellcars_health_rule_failing", Label{Key: "rule", Value: "staleness"}).Value(); v != 1 {
+		t.Fatalf("failing gauge = %v, want 1", v)
+	}
+
+	stale = false
+	if f := Failing(h.Eval()); len(f) != 0 {
+		t.Fatalf("still failing after recovery: %+v", f)
+	}
+	if v := reg.Gauge("cellcars_health_rule_failing", Label{Key: "rule", Value: "staleness"}).Value(); v != 0 {
+		t.Fatalf("failing gauge = %v after recovery, want 0", v)
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	h.Rule("x", func() (bool, string) { return false, "" })
+	if res := h.Eval(); res != nil {
+		t.Fatalf("nil Health Eval = %+v, want nil", res)
+	}
+}
+
+func TestGaugeFuncAndAdd(t *testing.T) {
+	reg := New()
+	age := 7.5
+	reg.GaugeFunc("cellcars_test_age_seconds", func() float64 { return age })
+	s := reg.Snapshot()
+	found := false
+	for _, g := range s.Gauges {
+		if g.Name == "cellcars_test_age_seconds" {
+			found = true
+			if g.Value != 7.5 {
+				t.Fatalf("gauge func value %v, want 7.5", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("gauge func missing from snapshot")
+	}
+	age = 9
+	if v := reg.Snapshot().Gauges[0].Value; v != 9 {
+		t.Fatalf("gauge func re-evaluated to %v, want 9", v)
+	}
+
+	g := reg.Gauge("cellcars_test_level_current")
+	g.Add(3)
+	g.Add(-1)
+	if v := g.Value(); v != 2 {
+		t.Fatalf("gauge after Add(3), Add(-1) = %v, want 2", v)
+	}
+}

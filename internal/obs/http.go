@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// RequestLabeler maps one request to its (endpoint, window) metric
+// labels. Implementations must return values from a bounded set —
+// labels are series identity, and unbounded label values (raw URL
+// paths, user input) would grow the registry without limit. Return
+// something like ("other", "-") for unrecognized requests.
+type RequestLabeler func(r *http.Request) (endpoint, window string)
+
+// defaultLabeler uses the raw path (safe only for fixed-route muxes)
+// and the "window" query parameter.
+func defaultLabeler(r *http.Request) (string, string) {
+	w := r.URL.Query().Get("window")
+	if w == "" {
+		w = "-"
+	}
+	return r.URL.Path, w
+}
+
+// requestIDHeader is the correlation header: honored when the client
+// sends one, generated otherwise, always echoed on the response.
+const requestIDHeader = "X-Request-Id"
+
+// statusWriter captures the response status and body size for
+// telemetry without changing handler behavior.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// statusClass buckets a status code into its Prometheus-friendly class
+// label ("2xx", "4xx", ...).
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Instrument wraps an HTTP handler with the service-side request
+// telemetry every query endpoint needs:
+//
+//   - cellcars_http_request_seconds{endpoint,window} — latency timing
+//     per (endpoint, window) pair
+//   - cellcars_http_responses_total{endpoint,class} — status-class
+//     counters (2xx/3xx/4xx/5xx)
+//   - cellcars_http_requests_inflight — gauge of requests currently
+//     being served
+//
+// and one structured log line per request (method, path, endpoint,
+// window, status, duration, bytes) correlated by request_id: taken
+// from the client's X-Request-Id header when present, generated
+// otherwise, and always echoed back on the response.
+//
+// reg may be nil (metrics off), logger may be nil (logging off), and
+// label may be nil (defaultLabeler). The wrapped handler's responses
+// are byte-identical to the unwrapped handler's.
+func Instrument(next http.Handler, reg *Registry, logger *slog.Logger, label RequestLabeler) http.Handler {
+	if label == nil {
+		label = defaultLabeler
+	}
+	inflight := reg.Gauge("cellcars_http_requests_inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = NewRunID()
+		}
+		w.Header().Set(requestIDHeader, reqID)
+		endpoint, window := label(r)
+		sw := &statusWriter{ResponseWriter: w}
+		inflight.Add(1)
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
+		inflight.Add(-1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if reg != nil {
+			reg.Timing("cellcars_http_request_seconds",
+				Label{Key: "endpoint", Value: endpoint},
+				Label{Key: "window", Value: window}).Observe(dur)
+			reg.Counter("cellcars_http_responses_total",
+				Label{Key: "endpoint", Value: endpoint},
+				Label{Key: "class", Value: statusClass(sw.status)}).Inc()
+		}
+		if logger != nil {
+			logger.Info("http request",
+				"request_id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"endpoint", endpoint,
+				"window", window,
+				"status", sw.status,
+				"dur_ms", float64(dur.Microseconds())/1000,
+				"bytes", sw.bytes)
+		}
+	})
+}

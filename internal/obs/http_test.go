@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInstrumentTelemetry(t *testing.T) {
+	reg := New()
+	var logBuf bytes.Buffer
+	logger := NewLogger(&logBuf, "test", "run0")
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("body\n"))
+	})
+	label := func(r *http.Request) (string, string) {
+		if strings.HasPrefix(r.URL.Path, "/report/") {
+			return strings.TrimPrefix(r.URL.Path, "/"), r.URL.Query().Get("window")
+		}
+		return "other", "-"
+	}
+	srv := httptest.NewServer(Instrument(inner, reg, logger, label))
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	r1 := get("/report/full?window=24h")
+	get("/report/full?window=24h")
+	get("/missing")
+
+	if r1.Header.Get("X-Request-Id") == "" {
+		t.Fatal("response missing X-Request-Id correlation header")
+	}
+
+	if n := reg.Timing("cellcars_http_request_seconds",
+		Label{Key: "endpoint", Value: "report/full"},
+		Label{Key: "window", Value: "24h"}).Count(); n != 2 {
+		t.Fatalf("request timing count = %d, want 2", n)
+	}
+	if n := reg.Counter("cellcars_http_responses_total",
+		Label{Key: "endpoint", Value: "report/full"},
+		Label{Key: "class", Value: "2xx"}).Value(); n != 2 {
+		t.Fatalf("2xx counter = %d, want 2", n)
+	}
+	if n := reg.Counter("cellcars_http_responses_total",
+		Label{Key: "endpoint", Value: "other"},
+		Label{Key: "class", Value: "4xx"}).Value(); n != 1 {
+		t.Fatalf("4xx counter = %d, want 1", n)
+	}
+	if v := reg.Gauge("cellcars_http_requests_inflight").Value(); v != 0 {
+		t.Fatalf("inflight gauge = %v after all requests done, want 0", v)
+	}
+
+	// Every log line is JSON with the correlation fields.
+	sc := bufio.NewScanner(&logBuf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("log line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		for _, field := range []string{"request_id", "run_id", "component", "status", "endpoint"} {
+			if _, ok := rec[field]; !ok {
+				t.Fatalf("log line missing %q: %s", field, sc.Text())
+			}
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("got %d request log lines, want 3", lines)
+	}
+}
+
+// TestInstrumentEchoesClientRequestID pins the correlation contract: a
+// caller-supplied id flows through to the response header.
+func TestInstrumentEchoesClientRequestID(t *testing.T) {
+	srv := httptest.NewServer(Instrument(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(204) }),
+		nil, nil, nil))
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/x", nil)
+	req.Header.Set("X-Request-Id", "caller-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-chose-this" {
+		t.Fatalf("echoed request id %q, want caller's", got)
+	}
+}
+
+func TestInstrumentInflightGauge(t *testing.T) {
+	reg := New()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv := httptest.NewServer(Instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}), reg, nil, nil))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	if v := reg.Gauge("cellcars_http_requests_inflight").Value(); v != 1 {
+		t.Fatalf("inflight gauge mid-request = %v, want 1", v)
+	}
+	close(release)
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("cellcars_http_requests_inflight").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("inflight gauge never returned to 0")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+)
+
+// Structured logging for the long-running binaries. Every daemon log
+// line is one JSON object (log/slog JSONHandler) carrying two
+// correlation fields on every record:
+//
+//	component — which binary emitted it ("carqueryd", "cardrive")
+//	run_id    — a random per-process id, so lines from one run can be
+//	            grepped out of an aggregated stream
+//
+// Request-scoped lines add request_id (see Instrument); coordinator
+// lines add shard/attempt. The JSON schema is slog's default: time,
+// level, msg, then the attribute fields.
+
+// NewRunID returns a fresh 16-hex-char random identifier, used for
+// run_id and request_id correlation fields.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant id keeps
+		// logging alive rather than killing the service.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewLogger returns a JSON logger writing one object per line to w,
+// with the component and run_id correlation fields attached to every
+// record.
+func NewLogger(w io.Writer, component, runID string) *slog.Logger {
+	h := slog.NewJSONHandler(w, nil)
+	return slog.New(h).With("component", component, "run_id", runID)
+}
+
+// NopLogger returns a logger that discards everything — the nil-off
+// equivalent for code paths that want an always-valid *slog.Logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(io.Discard, nil))
+}

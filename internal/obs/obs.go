@@ -1,9 +1,11 @@
 // Package obs is the pipeline's observability substrate: a
 // dependency-free, concurrency-safe metrics registry (counters,
-// gauges, timing histograms), lightweight span tracing to a JSONL run
-// trace, a throughput/ETA progress reporter, and an optional debug
-// HTTP server exposing net/http/pprof, expvar, and a Prometheus-text
-// /metrics endpoint.
+// gauges, callback gauges, timing histograms), lightweight span
+// tracing to a JSONL run trace, a throughput/ETA progress reporter,
+// structured JSON logging with run/request correlation ids (NewLogger,
+// Instrument), a named health-rule evaluator for readiness probes
+// (Health), and an optional debug HTTP server exposing net/http/pprof,
+// expvar, and a Prometheus-text /metrics endpoint.
 //
 // Every handle type is nil-safe: methods on a nil *Registry, *Counter,
 // *Gauge, *Timing, *Trace or *Span are no-ops, so instrumented code
@@ -128,6 +130,21 @@ func (g *Gauge) Set(x float64) {
 	g.bits.Store(math.Float64bits(x))
 }
 
+// Add shifts the gauge by d (negative deltas allowed) — the natural
+// operation for level gauges like in-flight request counts.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -220,6 +237,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*counterEntry
 	gauges   map[string]*gaugeEntry
+	gaugefns map[string]*gaugeFnEntry
 	timings  map[string]*timingEntry
 }
 
@@ -235,6 +253,12 @@ type gaugeEntry struct {
 	g      *Gauge
 }
 
+type gaugeFnEntry struct {
+	name   string
+	labels []Label
+	fn     func() float64
+}
+
 type timingEntry struct {
 	name   string
 	labels []Label
@@ -246,6 +270,7 @@ func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*counterEntry),
 		gauges:   make(map[string]*gaugeEntry),
+		gaugefns: make(map[string]*gaugeFnEntry),
 		timings:  make(map[string]*timingEntry),
 	}
 }
@@ -288,6 +313,25 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	return e.g
 }
 
+// GaugeFunc registers a callback gauge: fn is evaluated at every
+// Snapshot (and hence every /metrics scrape), which is the right shape
+// for derived instantaneous values like "seconds since the last
+// ingested record" — ages advance between scrapes without anyone
+// ticking a Set loop. Re-registering the same (name, labels) replaces
+// the callback; the last registration wins. fn must be safe to call
+// from any goroutine and must not call back into this registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	checkMetric(name, labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(id, "gaugefn")
+	r.gaugefns[id] = &gaugeFnEntry{name: name, labels: canonLabels(labels), fn: fn}
+}
+
 // Timing returns the timing with this name and label set, creating it
 // on first use. Timing names must end in _seconds. A nil registry
 // returns a nil (no-op) timing.
@@ -320,6 +364,9 @@ func (r *Registry) checkKind(id, kind string) {
 	}
 	if _, ok := r.gauges[id]; ok && kind != "gauge" {
 		panic(fmt.Sprintf("obs: metric %s already registered as a gauge", id))
+	}
+	if _, ok := r.gaugefns[id]; ok && kind != "gaugefn" {
+		panic(fmt.Sprintf("obs: metric %s already registered as a gauge func", id))
 	}
 	if _, ok := r.timings[id]; ok && kind != "timing" {
 		panic(fmt.Sprintf("obs: metric %s already registered as a timing", id))
@@ -386,6 +433,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, e := range r.gauges {
 		gauges = append(gauges, e)
 	}
+	gaugefns := make([]*gaugeFnEntry, 0, len(r.gaugefns))
+	for _, e := range r.gaugefns {
+		gaugefns = append(gaugefns, e)
+	}
 	timings := make([]*timingEntry, 0, len(r.timings))
 	for _, e := range r.timings {
 		timings = append(timings, e)
@@ -397,6 +448,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, e := range gauges {
 		s.Gauges = append(s.Gauges, GaugeValue{Name: e.name, Labels: e.labels, Value: e.g.Value()})
+	}
+	// Callback gauges are evaluated outside the registry lock: a fn may
+	// take its owner's lock (e.g. the query store mutex), and holding
+	// r.mu across arbitrary callbacks invites ordering deadlocks.
+	for _, e := range gaugefns {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: e.name, Labels: e.labels, Value: e.fn()})
 	}
 	for _, e := range timings {
 		tv := e.t.value()
@@ -428,6 +485,9 @@ func (r *Registry) Names() []string {
 		seen[e.name] = true
 	}
 	for _, e := range r.gauges {
+		seen[e.name] = true
+	}
+	for _, e := range r.gaugefns {
 		seen[e.name] = true
 	}
 	for _, e := range r.timings {

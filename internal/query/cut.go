@@ -73,7 +73,8 @@ func (s *Store) writeCut(w io.Writer, st cutState) error {
 
 // Checkpoint writes one consistent cut of every live bucket to the
 // snapshot directory and prunes old cuts. It returns the new cut's
-// sequence number.
+// sequence number. Success and failure both update the freshness SLIs
+// (last-cut age/duration, last cut error, cut-failure counter).
 func (s *Store) Checkpoint() (uint64, error) {
 	if s.snaps == nil {
 		return 0, ErrNoSnapshots
@@ -83,19 +84,39 @@ func (s *Store) Checkpoint() (uint64, error) {
 	st, err := s.cutLocked()
 	s.mu.Unlock()
 	if err != nil {
-		return 0, err
+		return 0, s.noteCutFailure(err)
 	}
 	seq, err := s.snaps.WriteCut(func(w io.Writer) error {
 		return s.writeCut(w, st)
 	})
 	if err != nil {
-		return 0, err
+		return 0, s.noteCutFailure(err)
 	}
+	dur := time.Since(t0)
 	if s.met != nil {
 		s.met.cuts.Inc()
-		s.met.cutSeconds.Observe(time.Since(t0))
+		s.met.cutSeconds.Observe(dur)
 	}
+	s.trace.Emit("cut", dur, st.watermark)
+	s.mu.Lock()
+	s.lastCutAt = time.Now()
+	s.lastCutSeq = seq
+	s.lastCutDur = dur
+	s.lastCutErr = ""
+	s.mu.Unlock()
 	return seq, nil
+}
+
+// noteCutFailure records a failed cut in the freshness SLIs and passes
+// the error through.
+func (s *Store) noteCutFailure(err error) error {
+	if s.met != nil {
+		s.met.cutFailures.Inc()
+	}
+	s.mu.Lock()
+	s.lastCutErr = err.Error()
+	s.mu.Unlock()
+	return err
 }
 
 // restoredCut is a validated cut, decoded off disk but not yet
@@ -190,6 +211,7 @@ func (s *Store) Restore() (watermark int64, ok bool, err error) {
 	s.buckets = cut.buckets
 	s.live = cut.live
 	s.watermark = cut.watermark
+	s.restored = cut.watermark
 	s.reports = make(map[string]cachedReport)
 	if s.met != nil {
 		s.met.buckets.Set(float64(len(s.buckets)))

@@ -73,8 +73,12 @@ type Config struct {
 	// Snapshots, when non-nil, is the rotated cut directory behind
 	// Checkpoint and Restore. Nil disables durability.
 	Snapshots *snapshot.Dir
-	// Obs, when non-nil, receives the store's metrics.
+	// Obs, when non-nil, receives the store's metrics, including the
+	// freshness SLI callback gauges (watermark age, last-cut age, tail
+	// replay).
 	Obs *obs.Registry
+	// Trace, when non-nil, receives compose/cut spans.
+	Trace *obs.Trace
 }
 
 // Store is the bucketed accumulator set behind the query service.
@@ -93,7 +97,21 @@ type Store struct {
 	watermark int64
 	reports   map[string]cachedReport
 
-	met *storeMetrics
+	// Freshness SLI state. lastAdd is the wall time of the newest
+	// ingested record (startedAt before any); restored is the watermark
+	// the last warm restart recovered (-1: cold start), so
+	// watermark-restored is the tail replayed/ingested since. The
+	// lastCut* fields describe the most recent snapshot cut attempt.
+	startedAt  time.Time
+	lastAdd    time.Time
+	restored   int64
+	lastCutAt  time.Time
+	lastCutSeq uint64
+	lastCutDur time.Duration
+	lastCutErr string
+
+	met   *storeMetrics
+	trace *obs.Trace
 }
 
 type bucket struct {
@@ -118,6 +136,7 @@ type storeMetrics struct {
 	epoch       *obs.Gauge
 	cuts        *obs.Counter
 	cutSeconds  *obs.Timing
+	cutFailures *obs.Counter
 	restores    *obs.Counter
 }
 
@@ -135,6 +154,7 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 		epoch:       reg.Gauge("cellcars_query_epoch"),
 		cuts:        reg.Counter("cellcars_query_cuts_total"),
 		cutSeconds:  reg.Timing("cellcars_query_cut_seconds"),
+		cutFailures: reg.Counter("cellcars_query_cut_failures_total"),
 		restores:    reg.Counter("cellcars_query_restores_total"),
 	}
 }
@@ -175,18 +195,39 @@ func New(cfg Config) (*Store, error) {
 	opts := cfg.Opts
 	opts.TrackHeads = true
 	opts.Obs = nil
-	return &Store{
-		ctx:     cfg.Ctx,
-		opts:    opts,
-		width:   width,
-		maxIdx:  int(span/width) - 1,
-		windows: windows,
-		snaps:   cfg.Snapshots,
-		buckets: make(map[int]*bucket),
-		live:    -1,
-		reports: make(map[string]cachedReport),
-		met:     newStoreMetrics(cfg.Obs),
-	}, nil
+	now := time.Now()
+	s := &Store{
+		ctx:       cfg.Ctx,
+		opts:      opts,
+		width:     width,
+		maxIdx:    int(span/width) - 1,
+		windows:   windows,
+		snaps:     cfg.Snapshots,
+		buckets:   make(map[int]*bucket),
+		live:      -1,
+		reports:   make(map[string]cachedReport),
+		startedAt: now,
+		lastAdd:   now,
+		restored:  -1,
+		met:       newStoreMetrics(cfg.Obs),
+		trace:     cfg.Trace,
+	}
+	if cfg.Obs != nil {
+		// Freshness SLIs as callback gauges: ages advance between
+		// scrapes without a ticker, and each scrape sees a consistent
+		// point-in-time value read under the store mutex.
+		cfg.Obs.GaugeFunc("cellcars_query_watermark_age_seconds", func() float64 {
+			return s.WatermarkAge().Seconds()
+		})
+		cfg.Obs.GaugeFunc("cellcars_query_last_cut_age_seconds", func() float64 {
+			f := s.Freshness()
+			return f.LastCutAgeSeconds
+		})
+		cfg.Obs.GaugeFunc("cellcars_query_tail_replay_records", func() float64 {
+			return float64(s.TailReplay())
+		})
+	}
+	return s, nil
 }
 
 // Windows returns the configured rolling windows.
@@ -228,6 +269,7 @@ func (s *Store) Add(r cdr.Record) {
 	b.stream.Add(r)
 	b.dirty = true
 	s.watermark++
+	s.lastAdd = time.Now()
 	if idx > s.live {
 		s.live = idx
 		if s.met != nil {
@@ -312,8 +354,9 @@ func (s *Store) windowSlices(w Window) (encs [][]byte, epoch int, err error) {
 
 // fold restores each encoded bucket and left-folds them in time order,
 // returning the finalized window report. An empty window finalizes a
-// fresh accumulator: the zero report.
-func (s *Store) fold(encs [][]byte) (*analysis.StreamReport, error) {
+// fresh accumulator: the zero report. windowName labels the compose
+// span in the run trace.
+func (s *Store) fold(windowName string, encs [][]byte) (*analysis.StreamReport, error) {
 	t0 := time.Now()
 	var acc *analysis.Streaming
 	for i, enc := range encs {
@@ -336,6 +379,7 @@ func (s *Store) fold(encs [][]byte) (*analysis.StreamReport, error) {
 	if s.met != nil {
 		s.met.foldSeconds.Observe(time.Since(t0))
 	}
+	s.trace.Emit("compose:"+windowName, time.Since(t0), rep.Records)
 	return &rep, nil
 }
 
@@ -380,7 +424,7 @@ func (s *Store) Report(endpoint, windowName string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := s.fold(encs)
+	rep, err := s.fold(endpoint+"/"+w.Name, encs)
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +454,79 @@ func (s *Store) WindowReport(windowName string) (*analysis.StreamReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	return s.fold(encs)
+	return s.fold("full/"+w.Name, encs)
+}
+
+// WatermarkAge returns how long ago the newest record was ingested —
+// the primary freshness SLI. Before any record arrives it measures the
+// time since the store was built.
+func (s *Store) WatermarkAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Since(s.lastAdd)
+}
+
+// TailReplay returns the records ingested since the last warm restart
+// — the post-watermark tail the daemon replayed plus live arrivals. On
+// a cold start (no restore) it is the full record count.
+func (s *Store) TailReplay() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.restored < 0 {
+		return s.watermark
+	}
+	return s.watermark - s.restored
+}
+
+// Freshness is the data-freshness SLI block: how stale the served
+// window reports can be and how the durability machinery is keeping
+// up. All ages are measured at call time.
+type Freshness struct {
+	// WatermarkAgeSeconds is the age of the newest ingested record.
+	WatermarkAgeSeconds float64 `json:"watermark_age_seconds"`
+	// RestoredWatermark is the record count recovered by the last warm
+	// restart, -1 on a cold start.
+	RestoredWatermark int64 `json:"restored_watermark"`
+	// TailReplayRecords counts records ingested past the restored
+	// watermark (the replayed tail plus live arrivals).
+	TailReplayRecords int64 `json:"tail_replay_records"`
+	// LastCutSeq is the sequence of the newest successful snapshot cut,
+	// 0 when none has completed.
+	LastCutSeq uint64 `json:"last_cut_seq"`
+	// LastCutAgeSeconds is the age of that cut, -1 when none yet.
+	LastCutAgeSeconds float64 `json:"last_cut_age_seconds"`
+	// LastCutSeconds is how long the last successful cut took.
+	LastCutSeconds float64 `json:"last_cut_seconds"`
+	// LastCutError is the most recent cut failure, cleared by the next
+	// success.
+	LastCutError string `json:"last_cut_error,omitempty"`
+}
+
+// Freshness returns the point-in-time freshness SLIs.
+func (s *Store) Freshness() Freshness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freshnessLocked()
+}
+
+func (s *Store) freshnessLocked() Freshness {
+	tail := s.watermark
+	if s.restored >= 0 {
+		tail = s.watermark - s.restored
+	}
+	f := Freshness{
+		WatermarkAgeSeconds: time.Since(s.lastAdd).Seconds(),
+		RestoredWatermark:   s.restored,
+		TailReplayRecords:   tail,
+		LastCutSeq:          s.lastCutSeq,
+		LastCutAgeSeconds:   -1,
+		LastCutError:        s.lastCutErr,
+	}
+	if !s.lastCutAt.IsZero() {
+		f.LastCutAgeSeconds = time.Since(s.lastCutAt).Seconds()
+		f.LastCutSeconds = s.lastCutDur.Seconds()
+	}
+	return f
 }
 
 // Stats is a cheap point-in-time summary for /stats and /readyz.
@@ -420,9 +536,10 @@ type Stats struct {
 	Epoch       int           `json:"epoch"`
 	BucketWidth time.Duration `json:"bucket_width_ns"`
 	Windows     []string      `json:"windows"`
+	Freshness   Freshness     `json:"freshness"`
 }
 
-// Snapshot returns the store's ingest counters.
+// Snapshot returns the store's ingest counters and freshness SLIs.
 func (s *Store) SnapshotStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -436,5 +553,6 @@ func (s *Store) SnapshotStats() Stats {
 		Epoch:       s.live,
 		BucketWidth: s.width,
 		Windows:     names,
+		Freshness:   s.freshnessLocked(),
 	}
 }

@@ -3,6 +3,7 @@ package query
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -12,17 +13,38 @@ import (
 
 // Server is the HTTP face of a Store: the report endpoints, liveness
 // and readiness probes, and (when a registry is supplied) the standard
-// obs surface — Prometheus /metrics, /debug/vars, and pprof.
+// obs surface — Prometheus /metrics, /debug/vars, and pprof. When
+// built with options it also carries request telemetry (per-endpoint
+// latency timings, status-class counters, in-flight gauge, correlated
+// request logs) and a health-rule evaluator that degrades /readyz.
 type Server struct {
-	store *Store
-	mux   *http.ServeMux
-	ready atomic.Bool
+	store   *Store
+	mux     *http.ServeMux
+	handler http.Handler
+	health  *obs.Health
+	ready   atomic.Bool
+}
+
+// ServerOptions extends NewServer with the observability surface.
+type ServerOptions struct {
+	// Logger, when non-nil, receives one structured line per request
+	// through the obs.Instrument middleware.
+	Logger *slog.Logger
+	// Health, when non-nil, is evaluated on every /readyz: any failing
+	// rule degrades the probe to 503 with a body naming the rules.
+	Health *obs.Health
 }
 
 // NewServer builds the handler. reg may be nil; the obs surface is
 // mounted only when it is not.
 func NewServer(store *Store, reg *obs.Registry) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	return NewServerWithOptions(store, reg, ServerOptions{})
+}
+
+// NewServerWithOptions builds the handler with request telemetry and
+// health-gated readiness.
+func NewServerWithOptions(store *Store, reg *obs.Registry, opts ServerOptions) *Server {
+	s := &Server{store: store, mux: http.NewServeMux(), health: opts.Health}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/windows", s.handleWindows)
@@ -32,7 +54,32 @@ func NewServer(store *Store, reg *obs.Registry) *Server {
 		s.mux.Handle("/metrics", obs.Handler(reg))
 		s.mux.Handle("/debug/", obs.Handler(reg))
 	}
+	s.handler = obs.Instrument(s.mux, reg, opts.Logger, endpointLabel)
 	return s
+}
+
+// endpointLabel keeps the (endpoint, window) metric space bounded: the
+// report view name and the fixed probe paths pass through; anything
+// else — including unknown report endpoints, which 404 — collapses to
+// "other". Window comes from the query parameter ("-" when absent) and
+// is bounded by the store's configured window set plus one 404 bucket.
+func endpointLabel(r *http.Request) (endpoint, window string) {
+	window = r.URL.Query().Get("window")
+	if window == "" {
+		window = "-"
+	}
+	p := r.URL.Path
+	if name := strings.TrimPrefix(p, "/report/"); name != p {
+		if _, ok := viewFor(name); ok {
+			return "report/" + name, window
+		}
+		return "other", "-"
+	}
+	switch p {
+	case "/healthz", "/readyz", "/windows", "/stats", "/metrics":
+		return strings.TrimPrefix(p, "/"), "-"
+	}
+	return "other", "-"
 }
 
 // SetReady flips the /readyz answer; the daemon marks ready once the
@@ -40,7 +87,7 @@ func NewServer(store *Store, reg *obs.Registry) *Server {
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -53,6 +100,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		w.Write([]byte("warming up\n"))
+		return
+	}
+	if failing := obs.Failing(s.health.Eval()); len(failing) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(obs.RenderDegraded(failing)))
 		return
 	}
 	w.Write([]byte("ready\n"))
